@@ -1,0 +1,34 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one paper table or figure, prints the
+model-vs-paper rows, and asserts the qualitative shape.  pytest-benchmark
+times the regeneration itself.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure: marks benchmarks that regenerate a paper figure"
+    )
+    config.addinivalue_line(
+        "markers", "table: marks benchmarks that regenerate a paper table"
+    )
+
+
+@pytest.fixture(scope="session")
+def figure_uops():
+    """Measured micro-ops per single-core benchmark run (kept moderate so
+    the full suite regenerates in minutes)."""
+    return 8000
+
+
+@pytest.fixture(scope="session")
+def multicore_uops():
+    """Total micro-ops per multicore benchmark run."""
+    return 24000

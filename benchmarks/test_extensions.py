@@ -1,0 +1,54 @@
+"""Benchmarks for the Section 5 / 7.1.2 extension studies."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    design_alternatives_study,
+    lp_top_energy_study,
+    tungsten_interconnect_study,
+)
+
+
+@pytest.mark.table
+def test_lp_top_energy_extension(benchmark):
+    """Section 7.1.2: an LP/FDSOI top layer saves a further ~9 points."""
+    result = benchmark.pedantic(
+        lp_top_energy_study, kwargs=dict(uops=4000, apps=6),
+        iterations=1, rounds=1,
+    )
+    print(
+        f"\nLP-top extra energy savings: {result.average_extra_points:.1f} "
+        f"points over M3D-Het (paper: ~9)"
+    )
+    assert result.average_extra_points > 3.0
+    assert all(lp < het for lp, het in
+               zip(result.lp_top_energy, result.het_energy))
+
+
+@pytest.mark.figure
+def test_design_alternatives_extension(benchmark, multicore_uops):
+    """Section 5/7.2: frequency vs width vs cores — how to spend the win."""
+    study = benchmark.pedantic(
+        design_alternatives_study,
+        kwargs=dict(total_uops=multicore_uops, apps=5),
+        iterations=1, rounds=1,
+    )
+    for name, metrics in study.items():
+        print(f"{name:<12} speedup {metrics['speedup']:.2f}x "
+              f"energy {metrics['energy']:.2f}")
+    # Paper's conclusion: more cores at low voltage is the best use of the
+    # power headroom; raising frequency beats widening the core.
+    assert study["M3D-Het-2X"]["speedup"] > study["M3D-Het"]["speedup"]
+    assert study["M3D-Het-W"]["speedup"] <= study["M3D-Het"]["speedup"] + 0.05
+    assert study["M3D-Het-2X"]["energy"] < 1.0
+
+
+@pytest.mark.table
+def test_tungsten_interconnect_extension(benchmark):
+    """Section 2.4.2: the tungsten manufacturing route's wire-delay cost."""
+    study = benchmark(tungsten_interconnect_study)
+    print(
+        f"\n200um wire: copper {study['copper_ps']:.1f} ps, tungsten "
+        f"{study['tungsten_ps']:.1f} ps ({study['slowdown']:.2f}x)"
+    )
+    assert study["slowdown"] > 1.2

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Figure 8: peak temperature per application for
+Base (2D), TSV3D and M3D-Het."""
+
+import pytest
+
+from repro.core.reference import FIGURE8_AVG_DELTA_T, THERMAL_STUDY
+from repro.experiments.figures import figure8
+
+
+@pytest.mark.figure
+def test_figure8_thermal(benchmark, figure_uops):
+    series = benchmark.pedantic(
+        figure8, args=(figure_uops,), iterations=1, rounds=1
+    )
+    series.print()
+    base_avg = series.average("Base")
+    m3d_avg = series.average("M3D-Het")
+    tsv_avg = series.average("TSV3D")
+    print(
+        f"\ndeltas: M3D +{m3d_avg - base_avg:.1f}C (paper "
+        f"+{FIGURE8_AVG_DELTA_T['M3D-Het']:.0f}), TSV +"
+        f"{tsv_avg - base_avg:.1f}C (paper +{FIGURE8_AVG_DELTA_T['TSV3D']:.0f})"
+    )
+
+    # Ordering per application: Base < M3D-Het < TSV3D.
+    for i, app in enumerate(series.apps):
+        assert series.values["Base"][i] < series.values["M3D-Het"][i], app
+        assert series.values["M3D-Het"][i] < series.values["TSV3D"][i], app
+
+    # M3D stays close to 2D (paper: +5C average, +10C max).
+    assert m3d_avg - base_avg < 12.0
+    deltas = [
+        series.values["M3D-Het"][i] - series.values["Base"][i]
+        for i in range(len(series.apps))
+    ]
+    assert max(deltas) < 15.0
+
+    # TSV3D is dramatically hotter (paper: +30C average).
+    assert tsv_avg - base_avg > 12.0
+
+    # TSV3D crosses Tjmax ~ 100C for the hottest applications.
+    assert max(series.values["TSV3D"]) > THERMAL_STUDY["tjmax_c"] - 12.0
+
+    # The baseline sits in a sane operating band.
+    assert 55.0 < base_avg < 90.0

@@ -1,0 +1,67 @@
+"""Benchmarks regenerating Figure 6 (single-core speedup) and Figure 7
+(single-core energy) over the 21 SPEC2006 applications."""
+
+import pytest
+
+from repro.core.reference import FIGURE6_AVG_SPEEDUP, FIGURE7_AVG_ENERGY
+from repro.experiments.figures import figure6, figure7
+
+
+@pytest.mark.figure
+def test_figure6_speedup(benchmark, figure_uops):
+    series = benchmark.pedantic(
+        figure6, args=(figure_uops,), iterations=1, rounds=1
+    )
+    series.print()
+    averages = series.averages()
+    print(f"paper averages: {FIGURE6_AVG_SPEEDUP}")
+
+    # Ordering: Base < TSV3D < HetNaive < Het <= Iso < HetAgg (paper's bars).
+    assert 1.0 < averages["TSV3D"] < averages["M3D-HetNaive"]
+    assert averages["M3D-HetNaive"] < averages["M3D-Het"]
+    assert averages["M3D-Het"] <= averages["M3D-Iso"] + 0.005
+    assert averages["M3D-Iso"] < averages["M3D-HetAgg"]
+
+    # Magnitude bands (the model's suite is more memory-bound than the
+    # paper's runs, compressing averages; see EXPERIMENTS.md).
+    assert 1.02 < averages["TSV3D"] < 1.15
+    assert 1.08 < averages["M3D-Iso"] < 1.35
+    assert 1.08 < averages["M3D-Het"] < 1.32
+    assert 1.15 < averages["M3D-HetAgg"] < 1.45
+
+    # Every application speeds up on every 3D design.
+    for config, values in series.values.items():
+        if config == "Base":
+            continue
+        assert all(v > 1.0 for v in values), config
+
+    # Compute-bound applications approach the paper's averages closely.
+    compute = [series.apps.index(a) for a in
+               ("Gamess", "Hmmer", "Povray", "H264Ref")]
+    iso_compute = sum(series.values["M3D-Iso"][i] for i in compute) / len(compute)
+    assert iso_compute == pytest.approx(FIGURE6_AVG_SPEEDUP["M3D-Iso"], abs=0.08)
+
+
+@pytest.mark.figure
+def test_figure7_energy(benchmark, figure_uops):
+    series = benchmark.pedantic(
+        figure7, args=(figure_uops,), iterations=1, rounds=1
+    )
+    series.print()
+    averages = series.averages()
+    print(f"paper averages: {FIGURE7_AVG_ENERGY}")
+
+    # Every 3D design saves energy; M3D saves far more than TSV3D.
+    assert averages["TSV3D"] < 0.95
+    assert averages["M3D-Het"] < averages["TSV3D"] - 0.08
+    assert averages["M3D-Iso"] < averages["TSV3D"] - 0.08
+
+    # Magnitude bands (paper: M3D ~0.59-0.62, TSV ~0.76).
+    assert 0.55 < averages["M3D-Het"] < 0.75
+    assert 0.55 < averages["M3D-Iso"] < 0.75
+    assert 0.70 < averages["TSV3D"] < 0.92
+
+    # Fine structure: the naive hetero design wastes some energy vs ours,
+    # and the aggressive design saves the most (runs fastest).
+    assert averages["M3D-Het"] <= averages["M3D-HetNaive"] + 0.005
+    assert averages["M3D-HetAgg"] <= averages["M3D-Iso"] + 0.01

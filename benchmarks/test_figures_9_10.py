@@ -1,0 +1,57 @@
+"""Benchmarks regenerating Figure 9 (multicore speedup) and Figure 10
+(multicore energy) over the 15 SPLASH2/PARSEC applications."""
+
+import pytest
+
+from repro.core.reference import FIGURE9_AVG_SPEEDUP, FIGURE10_AVG_ENERGY
+from repro.experiments.figures import figure9, figure10
+
+
+@pytest.mark.figure
+def test_figure9_multicore_speedup(benchmark, multicore_uops):
+    series = benchmark.pedantic(
+        figure9, args=(multicore_uops,), iterations=1, rounds=1
+    )
+    series.print()
+    averages = series.averages()
+    print(f"paper averages: {FIGURE9_AVG_SPEEDUP}")
+
+    # The headline: at iso power, twice the cores run ~2x faster.
+    assert 1.6 < averages["M3D-Het-2X"] < 2.3
+
+    # Ordering: TSV3D weakest 4-core 3D design; M3D-Het at least matches
+    # the wide variant (paper: 1.26 vs 1.25).
+    assert averages["TSV3D"] < averages["M3D-Het"]
+    assert averages["M3D-Het-W"] <= averages["M3D-Het"] + 0.02
+
+    # Every 4-core 3D design beats the 4-core Base on every app.
+    for config in ("TSV3D", "M3D-Het"):
+        assert all(v > 1.0 for v in series.values[config]), config
+
+    # Het-2X wins on every application.
+    assert all(v > 1.3 for v in series.values["M3D-Het-2X"])
+
+
+@pytest.mark.figure
+def test_figure10_multicore_energy(benchmark, multicore_uops):
+    series = benchmark.pedantic(
+        figure10, args=(multicore_uops,), iterations=1, rounds=1
+    )
+    series.print()
+    averages = series.averages()
+    print(f"paper averages: {FIGURE10_AVG_ENERGY}")
+
+    # All 3D multicores save energy vs the 4-core Base.
+    for config in ("TSV3D", "M3D-Het", "M3D-Het-W", "M3D-Het-2X"):
+        assert averages[config] < 1.0, config
+
+    # M3D-Het saves much more than TSV3D (paper: 0.67 vs 0.83).
+    assert averages["M3D-Het"] < averages["TSV3D"] - 0.05
+
+    # Magnitude bands.
+    assert 0.55 < averages["M3D-Het"] < 0.85
+    assert 0.70 < averages["TSV3D"] < 0.95
+
+    # Het-2X is competitive on energy despite running 8 cores (the paper's
+    # point: more cores at lower voltage, not more energy).
+    assert averages["M3D-Het-2X"] < 0.95

@@ -1,0 +1,68 @@
+"""Benchmark regenerating the Section 3.1 / 4.1.1 logic-stage study:
+the 64-bit adder and the 4-ALU execute stage with bypass."""
+
+import pytest
+
+from repro.logic.adder import build_carry_skip_adder
+from repro.logic.bypass import evaluate_execute_stage
+from repro.logic.placement import fold_stage
+
+
+@pytest.mark.table
+def test_adder_fold_study(benchmark):
+    def study():
+        iso = fold_stage(build_carry_skip_adder(), top_penalty=0.0)
+        het = fold_stage(build_carry_skip_adder())
+        return iso, het
+
+    iso, het = benchmark(study)
+    print(
+        f"\n64b adder fold: iso gain {iso.frequency_gain:.1%} (paper 15%), "
+        f"hetero gain {het.frequency_gain:.1%}, top fraction "
+        f"{het.top_fraction:.0%}"
+    )
+    # Section 3.1: ~15% frequency gain; Section 4.1: hetero recovers it.
+    assert 0.08 < iso.frequency_gain < 0.25
+    assert het.frequency_gain > iso.frequency_gain - 0.05
+    assert 0.3 < het.top_fraction <= 0.55
+
+
+@pytest.mark.table
+def test_four_alu_bypass_study(benchmark):
+    result = benchmark(evaluate_execute_stage, 4)
+    print(
+        f"\n4-ALU execute stage: frequency gain {result.frequency_gain:.1%} "
+        f"(paper 28%), energy reduction {result.energy_reduction:.1%} "
+        f"(paper 10%)"
+    )
+    # Section 3.1: "we estimate a 28% higher frequency, 10% lower energy".
+    assert 0.20 < result.frequency_gain < 0.40
+    assert 0.05 < result.energy_reduction < 0.20
+
+
+@pytest.mark.table
+def test_bypass_grows_with_alu_count(benchmark):
+    def sweep():
+        return [evaluate_execute_stage(n).frequency_gain for n in (1, 2, 4)]
+
+    gains = benchmark(sweep)
+    print(f"\nFrequency gain vs ALU count: {[f'{g:.1%}' for g in gains]}")
+    # The bypass path's quadratic wire growth makes wider stages gain more.
+    assert gains[0] < gains[2]
+
+
+@pytest.mark.table
+def test_critical_fraction_study(benchmark):
+    def study():
+        adder = build_carry_skip_adder()
+        return adder.critical_fraction(), adder.critical_fraction(0.2)
+
+    zero_slack, with_slack = benchmark(study)
+    print(
+        f"\nCritical gates: {zero_slack:.1%} at zero slack, "
+        f"{with_slack:.1%} at 20% slack (paper: 1.5% and 38%)"
+    )
+    # Section 4.1.1: a minority of gates is critical, so half the gates can
+    # always move to the slow top layer.
+    assert zero_slack < 0.25
+    assert with_slack < 0.5

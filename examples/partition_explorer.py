@@ -1,0 +1,79 @@
+"""Partition explorer: evaluate BP/WP/PP for *your own* SRAM structure.
+
+The paper's methodology is not specific to its Table 9 core — any storage
+structure can be partitioned.  This example takes a custom structure (a
+hypothetical 256-entry, 10-ported physical register file for a wider core,
+plus a large 8K-entry predictor table), evaluates every strategy on every
+stack, and prints a Table-6-style report, including the hetero-layer
+asymmetric variants.
+
+Run with::
+
+    python examples/partition_explorer.py
+"""
+
+from repro.partition.planner import evaluate_strategies, plan_structure
+from repro.partition.strategies import evaluate_2d, reduction_report
+from repro.sram.array import ArrayGeometry
+from repro.tech.process import stack_m3d_hetero, stack_m3d_iso, stack_tsv3d
+
+
+CUSTOM_STRUCTURES = [
+    ArrayGeometry("bigRF", words=256, bits=64, read_ports=8, write_ports=2),
+    ArrayGeometry("bigBPT", words=8192, bits=8),
+    ArrayGeometry("ROB", words=192, bits=96, read_ports=4, write_ports=4),
+    ArrayGeometry("wideIQ", words=128, bits=24, read_ports=6, write_ports=3,
+                  cam=True),
+]
+
+
+def explore(geometry: ArrayGeometry) -> None:
+    baseline = evaluate_2d(geometry)
+    access_ps = baseline.metrics.access_time * 1e12
+    print(f"\n{geometry.name}: [{geometry.words}x{geometry.bits}b, "
+          f"{geometry.ports} ports{', CAM' if geometry.cam else ''}] "
+          f"2D access {access_ps:.0f} ps")
+    print(f"  {'stack':<10} {'strategy':<8} {'latency':>8} {'energy':>8} "
+          f"{'footprint':>10}")
+
+    for stack, asym in (
+        (stack_m3d_iso(), False),
+        (stack_m3d_hetero(), True),
+        (stack_tsv3d(), False),
+    ):
+        for name, result in evaluate_strategies(
+            geometry, stack, asymmetric=asym
+        ).items():
+            report = reduction_report(baseline, result)
+            print(
+                f"  {stack.name:<10} {name:<8} {report.latency_pct:7.1f}% "
+                f"{report.energy_pct:7.1f}% {report.footprint_pct:9.1f}%"
+            )
+
+    best = plan_structure(geometry, stack_m3d_hetero(), asymmetric=True)
+    print(
+        f"  -> recommended hetero-layer design: {best.best.strategy} "
+        f"(latency -{best.best_report.latency_pct:.0f}%, "
+        f"footprint -{best.best_report.footprint_pct:.0f}%)"
+    )
+    if best.best.strategy.endswith("PP"):
+        print(
+            f"     port split: {best.best.bottom_ports} bottom / "
+            f"{best.best.top_ports} top, top transistors "
+            f"x{best.best.top_width_mult:.1f}"
+        )
+    else:
+        print(
+            f"     array split: {best.best.bottom_fraction:.0%} bottom, "
+            f"top transistors x{best.best.top_width_mult:.1f}"
+        )
+
+
+def main() -> None:
+    print("Partition explorer - the paper's methodology on custom structures")
+    for geometry in CUSTOM_STRUCTURES:
+        explore(geometry)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Calibration check: model vs paper Tables 6 and 8."""
+from repro.core.structures import core_structures
+from repro.partition.planner import plan_structure
+from repro.tech.process import stack_m3d_iso, stack_m3d_hetero, stack_tsv3d
+from repro.sram.array import solve_2d
+
+PAPER_ISO = {"RF":("PP",41,38,56),"IQ":("PP",26,35,50),"SQ":("PP",14,21,44),"LQ":("PP",15,36,48),
+"RAT":("PP",20,32,45),"BPT":("WP",14,36,57),"BTB":("BP",15,20,37),"DTLB":("BP",26,28,35),
+"ITLB":("BP",20,28,36),"IL1":("BP",30,36,41),"DL1":("BP",41,40,44),"L2":("BP",32,47,53)}
+PAPER_TSV = {"RF":("BP",25,19,31),"IQ":("BP",17,5,32),"SQ":("BP",-3,-18,0),"LQ":("BP",2,8,10),
+"RAT":("WP",10,5,-11),"BPT":("BP",4,-3,4),"BTB":("BP",-6,-10,-20),"DTLB":("BP",18,20,22),
+"ITLB":("BP",7,11,11),"IL1":("BP",14,23,25),"DL1":("BP",31,33,34),"L2":("BP",24,42,46)}
+PAPER_HET = {"RF":(40,32,47),"IQ":(24,30,47),"SQ":(13,17,43),"LQ":(13,30,47),"RAT":(20,24,44),
+"BPT":(13,30,40),"BTB":(13,16,26),"DTLB":(23,25,25),"ITLB":(18,25,28),"IL1":(27,33,30),
+"DL1":(37,36,31),"L2":(29,42,42)}
+
+iso, het, tsv = stack_m3d_iso(), stack_m3d_hetero(), stack_tsv3d()
+print("=== ISO (Table 6 M3D) ===")
+print(f"{'nm':<5}{'2D ps':>7} | model                      | paper")
+for g in core_structures():
+    p = plan_structure(g, iso); r = p.best_report; pi = PAPER_ISO[g.name]
+    d = p.baseline.metrics.detail
+    print(f"{g.name:<5}{p.baseline.metrics.access_time*1e12:7.1f} | {p.strategy:<3} {r.latency_pct:5.1f} {r.energy_pct:5.1f} {r.footprint_pct:5.1f} | {pi[0]:<3} {pi[1]:3d} {pi[2]:3d} {pi[3]:3d}"
+          f"   [dec={d.decode*1e12:4.1f} wl={d.wordline*1e12:4.1f} bl={d.bitline*1e12:5.1f} ml={d.matchline*1e12:5.1f} rt={d.route*1e12:5.1f}]")
+print("=== TSV3D (Table 6 TSV) ===")
+for g in core_structures():
+    p = plan_structure(g, tsv); r = p.best_report; pi = PAPER_TSV[g.name]
+    print(f"{g.name:<5} | {p.strategy:<3} {r.latency_pct:6.1f} {r.energy_pct:6.1f} {r.footprint_pct:6.1f} | {pi[0]:<3} {pi[1]:4d} {pi[2]:4d} {pi[3]:4d}")
+print("=== HET asym (Table 8) ===")
+for g in core_structures():
+    p = plan_structure(g, het, asymmetric=True); r = p.best_report; pi = PAPER_HET[g.name]
+    print(f"{g.name:<5} | {p.strategy:<3} {r.latency_pct:5.1f} {r.energy_pct:5.1f} {r.footprint_pct:5.1f} | {pi[0]:3d} {pi[1]:3d} {pi[2]:3d}  (f={p.best.bottom_fraction:.2f} m={p.best.top_width_mult:.1f} pb={p.best.bottom_ports})")

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``partition <structure>``
+    Evaluate every partitioning strategy for one core structure (or a
+    custom ``WORDSxBITS[xPORTS]`` geometry) on every stack.
+
+``frequencies``
+    Print the derived Table 11 frequencies.
+
+``table <n>`` / ``figure <n>``
+    Regenerate one paper table (1-8, 11) or figure (2, 6-10).
+
+``report``
+    Regenerate everything (equivalent to ``python -m repro.experiments.runner``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+from repro.core.structures import structures_by_name
+from repro.experiments import figures as figmod
+from repro.experiments import tables as tabmod
+from repro.experiments.tables import print_rows
+from repro.partition.planner import evaluate_strategies
+from repro.partition.strategies import evaluate_2d, reduction_report
+from repro.sram.array import ArrayGeometry
+from repro.tech.process import stack_m3d_hetero, stack_m3d_iso, stack_tsv3d
+
+
+def _parse_geometry(spec: str) -> ArrayGeometry:
+    """Parse "RF" (a Table 9 structure) or "256x64", "256x64x8" etc."""
+    known = structures_by_name()
+    if spec in known:
+        return known[spec]
+    match = re.fullmatch(r"(\d+)x(\d+)(?:x(\d+))?", spec)
+    if not match:
+        raise SystemExit(
+            f"unknown structure {spec!r}; use one of {sorted(known)} "
+            f"or WORDSxBITS[xPORTS]"
+        )
+    words, bits = int(match.group(1)), int(match.group(2))
+    ports = int(match.group(3) or 1)
+    read_ports = max(1, (2 * ports) // 3)
+    return ArrayGeometry(
+        spec, words=words, bits=bits,
+        read_ports=read_ports, write_ports=ports - read_ports,
+    )
+
+
+def cmd_partition(args: argparse.Namespace) -> None:
+    geometry = _parse_geometry(args.structure)
+    baseline = evaluate_2d(geometry)
+    print(
+        f"{geometry.name}: {geometry.words}x{geometry.bits}b, "
+        f"{geometry.ports} ports; 2D access "
+        f"{baseline.metrics.access_time * 1e12:.0f} ps"
+    )
+    for stack, asym in (
+        (stack_m3d_iso(), False),
+        (stack_m3d_hetero(), True),
+        (stack_tsv3d(), False),
+    ):
+        for name, result in evaluate_strategies(
+            geometry, stack, asymmetric=asym
+        ).items():
+            report = reduction_report(baseline, result)
+            print(f"  {stack.name:<8} {report.as_row()}")
+
+
+def cmd_frequencies(args: argparse.Namespace) -> None:
+    print_rows("Table 11: derived frequencies", tabmod.table11())
+
+
+def cmd_table(args: argparse.Namespace) -> None:
+    dispatch = {
+        "1": lambda: print_rows("Table 1", tabmod.table1()),
+        "2": lambda: print_rows("Table 2", tabmod.table2()),
+        "3": lambda: print_rows("Table 3", tabmod.table3()),
+        "4": lambda: print_rows("Table 4", tabmod.table4()),
+        "5": lambda: print_rows("Table 5", tabmod.table5()),
+        "6": lambda: (
+            print_rows("Table 6 (M3D)", tabmod.table6("M3D")),
+            print_rows("Table 6 (TSV3D)", tabmod.table6("TSV3D")),
+        ),
+        "8": lambda: print_rows("Table 8", tabmod.table8()),
+        "11": lambda: print_rows("Table 11", tabmod.table11()),
+    }
+    if args.number not in dispatch:
+        raise SystemExit(f"no table {args.number}; choose {sorted(dispatch)}")
+    dispatch[args.number]()
+
+
+def cmd_figure(args: argparse.Namespace) -> None:
+    dispatch = {
+        "2": lambda: print_rows("Figure 2", [tabmod.figure2()]),
+        "6": lambda: figmod.figure6(args.uops).print(),
+        "7": lambda: figmod.figure7(args.uops).print(),
+        "8": lambda: figmod.figure8(args.uops).print(),
+        "9": lambda: figmod.figure9(args.uops * 3).print(),
+        "10": lambda: figmod.figure10(args.uops * 3).print(),
+    }
+    if args.number not in dispatch:
+        raise SystemExit(f"no figure {args.number}; choose {sorted(dispatch)}")
+    dispatch[args.number]()
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import run_figures, run_tables
+
+    run_tables()
+    run_figures(args.uops, args.uops * 3)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--uops", type=int, default=8000,
+                        help="measured micro-ops per simulated run")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition one structure")
+    p.add_argument("structure", help="RF/IQ/... or WORDSxBITS[xPORTS]")
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("frequencies", help="derived Table 11 frequencies")
+    p.set_defaults(func=cmd_frequencies)
+
+    p = sub.add_parser("table", help="regenerate one paper table")
+    p.add_argument("number")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("number")
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("report", help="regenerate everything")
+    p.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,174 @@
+"""Core cycle-time / frequency derivation (Section 6.1).
+
+The register-file access limits the 2D core's cycle time at 3.3 GHz.  Every
+3D design's frequency follows from the smallest per-structure access-time
+reduction, under the conservative assumption that *all* array structures
+are on the critical path:
+
+    f_3d = f_base / (1 - min_i latency_reduction_i)
+
+The aggressive variants (M3D-IsoAgg / M3D-HetAgg) instead consider only the
+traditionally frequency-critical structures (RF, IQ, ALU+bypass), so their
+limiter is the IQ's reduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.core import structures as structdefs
+from repro.core.reference import TABLE6_M3D, TABLE8_HETERO
+from repro.partition.planner import StructurePlan, min_latency_reduction, plan_core
+from repro.tech import constants
+from repro.tech.process import StackSpec, stack_m3d_hetero, stack_m3d_iso
+
+#: 2D baseline core frequency (Hz), set by the RF access time (Section 6.1).
+BASE_FREQUENCY: float = 3.3e9
+
+#: Frequency loss of the naive hetero design, from Shi et al.'s AES block
+#: (Section 6.1: "slows its frequency by 9%").
+NAIVE_HETERO_LOSS: float = constants.NAIVE_FREQ_LOSS_AES
+
+
+@dataclasses.dataclass(frozen=True)
+class FrequencyDerivation:
+    """How a design's frequency was obtained."""
+
+    design: str
+    frequency: float
+    limiting_structure: str
+    limiting_reduction: float
+    plans: Optional[List[StructurePlan]] = None
+
+    @property
+    def ghz(self) -> float:
+        return self.frequency / 1e9
+
+
+def frequency_from_reduction(reduction: float, base: float = BASE_FREQUENCY) -> float:
+    """``f = f_base / (1 - reduction)`` — shorter stage, faster clock."""
+    if not 0.0 <= reduction < 1.0:
+        raise ValueError(f"latency reduction {reduction} out of range")
+    return base / (1.0 - reduction)
+
+
+def _limiting(plans: Iterable[StructurePlan],
+              only: Optional[Iterable[str]] = None) -> StructurePlan:
+    """The plan with the smallest latency reduction (the frequency limiter)."""
+    chosen = [
+        plan
+        for plan in plans
+        if only is None or plan.geometry.name in set(only)
+    ]
+    if not chosen:
+        raise ValueError("no structures to derive a frequency from")
+    return min(chosen, key=lambda plan: plan.best_report.latency_pct)
+
+
+def derive_from_plans(
+    design: str,
+    plans: List[StructurePlan],
+    *,
+    only: Optional[Iterable[str]] = None,
+    base: float = BASE_FREQUENCY,
+) -> FrequencyDerivation:
+    """Derive a design's frequency from its per-structure partition plans."""
+    limiter = _limiting(plans, only)
+    reduction = max(0.0, limiter.best_report.latency_pct / 100.0)
+    return FrequencyDerivation(
+        design=design,
+        frequency=frequency_from_reduction(reduction, base),
+        limiting_structure=limiter.geometry.name,
+        limiting_reduction=reduction,
+        plans=plans,
+    )
+
+
+def derive_m3d_iso(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-Iso: all structures assumed critical (paper: 3.83 GHz)."""
+    if use_paper_values:
+        return _derive_from_reference("M3D-Iso", TABLE6_M3D)
+    plans = plan_core(structdefs.core_structures(), stack_m3d_iso())
+    return derive_from_plans("M3D-Iso", plans)
+
+
+def derive_m3d_iso_agg(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-IsoAgg: only the traditional critical structures (paper: 4.46 GHz)."""
+    if use_paper_values:
+        return _derive_from_reference(
+            "M3D-IsoAgg", TABLE6_M3D, only=structdefs.FREQUENCY_CRITICAL
+        )
+    plans = plan_core(structdefs.core_structures(), stack_m3d_iso())
+    return derive_from_plans(
+        "M3D-IsoAgg", plans, only=structdefs.FREQUENCY_CRITICAL
+    )
+
+
+def derive_m3d_het(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-Het: asymmetric hetero partitions, all structures (paper: 3.79)."""
+    if use_paper_values:
+        return _derive_from_reference("M3D-Het", TABLE8_HETERO)
+    plans = plan_core(
+        structdefs.core_structures(), stack_m3d_hetero(), asymmetric=True
+    )
+    return derive_from_plans("M3D-Het", plans)
+
+
+def derive_m3d_het_agg(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-HetAgg: hetero partitions, critical structures only (paper: 4.34)."""
+    if use_paper_values:
+        return _derive_from_reference(
+            "M3D-HetAgg", TABLE8_HETERO, only=structdefs.FREQUENCY_CRITICAL
+        )
+    plans = plan_core(
+        structdefs.core_structures(), stack_m3d_hetero(), asymmetric=True
+    )
+    return derive_from_plans(
+        "M3D-HetAgg", plans, only=structdefs.FREQUENCY_CRITICAL
+    )
+
+
+def derive_m3d_het_naive(
+    iso: Optional[FrequencyDerivation] = None,
+) -> FrequencyDerivation:
+    """M3D-HetNaive: the iso design slowed by Shi et al.'s 9% (paper: 3.5)."""
+    iso = iso if iso is not None else derive_m3d_iso()
+    return FrequencyDerivation(
+        design="M3D-HetNaive",
+        frequency=iso.frequency * (1.0 - NAIVE_HETERO_LOSS),
+        limiting_structure=iso.limiting_structure,
+        limiting_reduction=iso.limiting_reduction,
+        plans=iso.plans,
+    )
+
+
+def derive_tsv3d() -> FrequencyDerivation:
+    """TSV3D stays at the base frequency: some structures regress under
+    TSV partitioning, so intra-block 3D cannot raise the clock
+    (Section 6.1)."""
+    return FrequencyDerivation(
+        design="TSV3D",
+        frequency=BASE_FREQUENCY,
+        limiting_structure="(kept at base: negative TSV reductions)",
+        limiting_reduction=0.0,
+    )
+
+
+def _derive_from_reference(
+    design: str,
+    table: Dict,
+    only: Optional[Iterable[str]] = None,
+) -> FrequencyDerivation:
+    names = set(only) if only is not None else set(table)
+    limiter = min(
+        (name for name in table if name in names),
+        key=lambda name: table[name].latency,
+    )
+    reduction = table[limiter].latency / 100.0
+    return FrequencyDerivation(
+        design=design,
+        frequency=frequency_from_reduction(reduction),
+        limiting_structure=limiter,
+        limiting_reduction=reduction,
+    )

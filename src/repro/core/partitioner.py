@@ -1,0 +1,168 @@
+"""Whole-core partitioning: every pipeline stage, both layers, one report.
+
+This is the library's top-level "design my vertical processor" API.  It
+combines:
+
+* the storage-structure plans (Tables 6/8, from :mod:`repro.partition`),
+* the logic-stage placements (Section 4.1/4.3/4.4, from
+  :mod:`repro.logic.stages` and the adder/bypass studies),
+
+into a per-pipeline-stage report: which blocks sit on which layer, the
+stage's delay relative to 2D, and the core-level outcomes — cycle time,
+frequency, footprint, and the breakdown the evaluation sections consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core import structures as structdefs
+from repro.core.frequency import BASE_FREQUENCY, frequency_from_reduction
+from repro.logic.bypass import evaluate_execute_stage
+from repro.logic.stages import StagePartition, all_stages
+from repro.partition.planner import StructurePlan, plan_core
+from repro.tech.process import StackSpec, stack_m3d_hetero
+
+#: Which Table 6 structures participate in which pipeline stage.
+STAGE_STRUCTURES: Dict[str, List[str]] = {
+    "fetch": ["IL1", "ITLB", "BPT", "BTB"],
+    "decode": [],
+    "rename": ["RAT"],
+    "issue": ["IQ"],
+    "regread": ["RF"],
+    "execute": [],
+    "lsu": ["LQ", "SQ", "DL1", "DTLB"],
+    "commit": [],
+    "l2": ["L2"],
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class StageReport:
+    """One pipeline stage's partition outcome."""
+
+    stage: str
+    #: Relative stage delay vs 2D (1.0 = unchanged; < 1 = faster).
+    delay_ratio: float
+    #: Storage plans participating in the stage.
+    structures: List[StructurePlan]
+    #: Logic placement decisions, when the stage has an explicit Section 4
+    #: treatment.
+    logic: Optional[StagePartition] = None
+
+    @property
+    def latency_reduction_pct(self) -> float:
+        return (1.0 - self.delay_ratio) * 100.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CorePartition:
+    """The full vertical-processor design."""
+
+    stack: str
+    stages: List[StageReport]
+    plans: List[StructurePlan]
+    frequency: float
+    footprint_reduction_pct: float
+
+    @property
+    def ghz(self) -> float:
+        return self.frequency / 1e9
+
+    @property
+    def limiting_stage(self) -> StageReport:
+        """The slowest (least-improved) stage sets the clock."""
+        return max(self.stages, key=lambda stage: stage.delay_ratio)
+
+    def summary(self) -> str:
+        lines = [
+            f"Vertical processor on {self.stack}: "
+            f"{self.ghz:.2f} GHz (2D base {BASE_FREQUENCY / 1e9:.2f}), "
+            f"footprint -{self.footprint_reduction_pct:.0f}%",
+        ]
+        for stage in self.stages:
+            parts = ", ".join(
+                f"{plan.geometry.name}:{plan.strategy}"
+                for plan in stage.structures
+            ) or "logic only"
+            lines.append(
+                f"  {stage.stage:<8} delay x{stage.delay_ratio:.2f} ({parts})"
+            )
+        return "\n".join(lines)
+
+
+def _stage_delay_ratio(
+    stage_name: str,
+    plans_by_name: Dict[str, StructurePlan],
+    execute_gain: float,
+) -> float:
+    """Relative delay of one stage after partitioning.
+
+    Storage-backed stages take the *worst* (largest) delay ratio of their
+    structures — the stage cannot clock faster than its slowest array.
+    Pure-logic stages take the execute-stage study's gain.
+    """
+    names = STAGE_STRUCTURES[stage_name]
+    if not names:
+        return 1.0 / (1.0 + execute_gain)
+    worst = 0.0
+    for name in names:
+        reduction = plans_by_name[name].best_report.latency_pct / 100.0
+        worst = max(worst, 1.0 - reduction)
+    return worst
+
+
+def partition_core(
+    stack: Optional[StackSpec] = None,
+    *,
+    asymmetric: bool = True,
+) -> CorePartition:
+    """Design a vertical processor on the given stack.
+
+    Defaults to the hetero-layer M3D stack with the Section 4 asymmetric
+    techniques — the paper's M3D-Het design point.
+    """
+    the_stack = stack if stack is not None else stack_m3d_hetero()
+    plans = plan_core(
+        structdefs.core_structures(), the_stack, asymmetric=asymmetric
+    )
+    plans_by_name = {plan.geometry.name: plan for plan in plans}
+    execute_gain = evaluate_execute_stage(
+        4, top_penalty=the_stack.top.delay_penalty
+    ).frequency_gain
+
+    logic_by_stage = {stage.stage: stage for stage in all_stages()}
+    stages = []
+    for stage_name in STAGE_STRUCTURES:
+        ratio = _stage_delay_ratio(stage_name, plans_by_name, execute_gain)
+        stages.append(
+            StageReport(
+                stage=stage_name,
+                delay_ratio=ratio,
+                structures=[
+                    plans_by_name[name] for name in STAGE_STRUCTURES[stage_name]
+                ],
+                logic=logic_by_stage.get(stage_name),
+            )
+        )
+
+    worst_ratio = max(stage.delay_ratio for stage in stages)
+    frequency = frequency_from_reduction(max(0.0, 1.0 - worst_ratio))
+
+    # Footprint: area-weighted mean of per-structure reductions; logic
+    # blocks fold at the Section 3.1 rate.
+    total_area = sum(plan.baseline.metrics.area for plan in plans)
+    saved = sum(
+        plan.baseline.metrics.area * plan.best_report.footprint_pct / 100.0
+        for plan in plans
+    )
+    footprint_pct = 100.0 * saved / total_area if total_area else 0.0
+
+    return CorePartition(
+        stack=the_stack.name,
+        stages=stages,
+        plans=plans,
+        frequency=frequency,
+        footprint_reduction_pct=footprint_pct,
+    )

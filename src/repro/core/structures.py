@@ -1,0 +1,104 @@
+"""The storage-structure inventory of the modelled core (Tables 6 and 9).
+
+Geometries follow Table 6's ``[Words; Bits per Word] x Banks`` notation, and
+port counts follow Table 9's core parameters (6-issue out-of-order core with
+a 12-read/6-write register file, multiported rename and issue structures,
+and 2-ported load/store queues).
+
+The IQ, LQ and SQ are CAM structures (searched associatively, Section 4.4);
+the caches' data arrays and predictor tables are plain SRAM.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sram.array import ArrayGeometry
+
+#: Structures excluded from the conservative frequency derivation variants
+#: that mirror M3D-IsoAgg/M3D-HetAgg (Section 6.1 limits those designs to the
+#: traditional frequency-critical structures: RF, IQ, and the ALU/bypass).
+FREQUENCY_CRITICAL: Tuple[str, ...] = ("RF", "IQ")
+
+
+def register_file() -> ArrayGeometry:
+    """Integer register file: 160 x 64b, 12 read + 6 write ports."""
+    return ArrayGeometry("RF", words=160, bits=64, read_ports=12, write_ports=6)
+
+
+def issue_queue() -> ArrayGeometry:
+    """Issue queue: 84 entries of 16b tags, CAM-searched at issue width 6."""
+    return ArrayGeometry("IQ", words=84, bits=16, read_ports=4, write_ports=2, cam=True)
+
+
+def store_queue() -> ArrayGeometry:
+    """Store queue: 56 x 48b, 2 ports, CAM-searched by loads."""
+    return ArrayGeometry("SQ", words=56, bits=48, read_ports=1, write_ports=1, cam=True)
+
+
+def load_queue() -> ArrayGeometry:
+    """Load queue: 72 x 48b, 2 ports, CAM-searched by stores."""
+    return ArrayGeometry("LQ", words=72, bits=48, read_ports=1, write_ports=1, cam=True)
+
+
+def register_alias_table() -> ArrayGeometry:
+    """Register alias table: 32 x 8b, heavily multiported for rename."""
+    return ArrayGeometry("RAT", words=32, bits=8, read_ports=8, write_ports=4)
+
+
+def branch_prediction_table() -> ArrayGeometry:
+    """Tournament-predictor table: 4096 x 8b, single port."""
+    return ArrayGeometry("BPT", words=4096, bits=8)
+
+
+def branch_target_buffer() -> ArrayGeometry:
+    """BTB: 4096 x 32b, single port."""
+    return ArrayGeometry("BTB", words=4096, bits=32)
+
+
+def dtlb() -> ArrayGeometry:
+    """Data TLB: 192 x 64b x 8 banks."""
+    return ArrayGeometry("DTLB", words=192, bits=64, banks=8)
+
+
+def itlb() -> ArrayGeometry:
+    """Instruction TLB: 192 x 64b x 4 banks."""
+    return ArrayGeometry("ITLB", words=192, bits=64, banks=4)
+
+
+def il1() -> ArrayGeometry:
+    """Instruction L1 data array: 256 x 256b x 4 banks (32KB, 4-way)."""
+    return ArrayGeometry("IL1", words=256, bits=256, banks=4)
+
+
+def dl1() -> ArrayGeometry:
+    """Data L1 data array: 128 x 256b x 8 banks (32KB, 8-way)."""
+    return ArrayGeometry("DL1", words=128, bits=256, banks=8)
+
+
+def l2() -> ArrayGeometry:
+    """Private L2 data array: 512 x 512b x 8 banks (256KB, 8-way)."""
+    return ArrayGeometry("L2", words=512, bits=512, banks=8)
+
+
+def core_structures() -> List[ArrayGeometry]:
+    """The twelve structures of Table 6, in table order."""
+    return [
+        register_file(),
+        issue_queue(),
+        store_queue(),
+        load_queue(),
+        register_alias_table(),
+        branch_prediction_table(),
+        branch_target_buffer(),
+        dtlb(),
+        itlb(),
+        il1(),
+        dl1(),
+        l2(),
+    ]
+
+
+def structures_by_name() -> Dict[str, ArrayGeometry]:
+    """Name -> geometry mapping for the Table 6 structures."""
+    return {geometry.name: geometry for geometry in core_structures()}

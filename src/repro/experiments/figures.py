@@ -1,0 +1,174 @@
+"""Reproduction entry points for the paper's figures (6-10).
+
+Each function sweeps the relevant configurations over the relevant
+application suite and returns per-application series shaped exactly like
+the paper's bar charts, plus the suite average the text quotes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.configs import (
+    CoreConfig,
+    multicore_configs,
+    single_core_configs,
+)
+from repro.power.core_power import power_model_for
+from repro.thermal.hotspot import (
+    peak_temperature_2d,
+    peak_temperature_m3d,
+    peak_temperature_tsv3d,
+)
+from repro.uarch.multicore import run_parallel
+from repro.uarch.ooo import run_trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.parallel import parallel_profiles
+from repro.workloads.spec import spec_profiles
+
+#: Default measured trace length per application (single core).
+SINGLE_CORE_UOPS: int = 8000
+
+#: Default total work per parallel application (all cores together).
+MULTICORE_UOPS: int = 24000
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureSeries:
+    """One figure: per-app values per configuration, plus averages."""
+
+    name: str
+    apps: List[str]
+    values: Dict[str, List[float]]  # config -> per-app series
+
+    def average(self, config: str) -> float:
+        series = self.values[config]
+        return sum(series) / len(series) if series else 0.0
+
+    def averages(self) -> Dict[str, float]:
+        return {config: self.average(config) for config in self.values}
+
+    def print(self) -> None:
+        print(f"\n=== {self.name} ===")
+        configs = list(self.values)
+        header = "app".ljust(15) + "".join(f"{c:>14}" for c in configs)
+        print(header)
+        for i, app in enumerate(self.apps):
+            row = app.ljust(15) + "".join(
+                f"{self.values[c][i]:14.3f}" for c in configs
+            )
+            print(row)
+        print(
+            "Average".ljust(15)
+            + "".join(f"{self.average(c):14.3f}" for c in configs)
+        )
+
+
+def _single_core_runs(uops: int, seed: int,
+                      configs: Optional[List[CoreConfig]] = None):
+    """Simulate every SPEC app on every single-core config."""
+    configs = configs if configs is not None else single_core_configs()
+    runs: Dict[str, Dict[str, object]] = {}
+    for profile in spec_profiles():
+        trace = generate_trace(profile, uops, seed=seed)
+        runs[profile.name] = {
+            cfg.name: run_trace(cfg, trace) for cfg in configs
+        }
+    return configs, runs
+
+
+def figure6(uops: int = SINGLE_CORE_UOPS, seed: int = 1234) -> FigureSeries:
+    """Figure 6: single-core speedup over Base, 21 SPEC2006 apps."""
+    configs, runs = _single_core_runs(uops, seed)
+    apps = [p.name for p in spec_profiles()]
+    values: Dict[str, List[float]] = {cfg.name: [] for cfg in configs}
+    for app in apps:
+        base = runs[app]["Base"]
+        for cfg in configs:
+            values[cfg.name].append(runs[app][cfg.name].speedup_over(base))
+    return FigureSeries("Figure 6: single-core speedup", apps, values)
+
+
+def figure7(uops: int = SINGLE_CORE_UOPS, seed: int = 1234) -> FigureSeries:
+    """Figure 7: single-core energy normalised to Base."""
+    configs, runs = _single_core_runs(uops, seed)
+    models = {cfg.name: power_model_for(cfg) for cfg in configs}
+    apps = [p.name for p in spec_profiles()]
+    values: Dict[str, List[float]] = {cfg.name: [] for cfg in configs}
+    for app in apps:
+        base_report = models["Base"].evaluate(runs[app]["Base"])
+        for cfg in configs:
+            report = models[cfg.name].evaluate(runs[app][cfg.name])
+            values[cfg.name].append(report.normalized_to(base_report))
+    return FigureSeries("Figure 7: single-core normalized energy", apps, values)
+
+
+def figure8(uops: int = SINGLE_CORE_UOPS, seed: int = 1234,
+            grid: int = 12) -> FigureSeries:
+    """Figure 8: peak temperature for Base, TSV3D and M3D-Het.
+
+    Per-app core power comes from the power model's Base run, scaled per
+    design by its average power ratio (power = energy / time).
+    """
+    configs, runs = _single_core_runs(uops, seed)
+    models = {cfg.name: power_model_for(cfg) for cfg in configs}
+    apps = [p.name for p in spec_profiles()]
+    profiles = {p.name: p for p in spec_profiles()}
+    values: Dict[str, List[float]] = {"Base": [], "TSV3D": [], "M3D-Het": []}
+    for app in apps:
+        profile = profiles[app]
+        base_power = models["Base"].evaluate(runs[app]["Base"]).average_power
+        tsv_power = models["TSV3D"].evaluate(runs[app]["TSV3D"]).average_power
+        het_power = models["M3D-Het"].evaluate(runs[app]["M3D-Het"]).average_power
+        values["Base"].append(
+            peak_temperature_2d(base_power, profile, grid=grid).peak_c
+        )
+        values["TSV3D"].append(
+            peak_temperature_tsv3d(tsv_power, profile, grid=grid).peak_c
+        )
+        values["M3D-Het"].append(
+            peak_temperature_m3d(het_power, profile, grid=grid).peak_c
+        )
+    return FigureSeries("Figure 8: peak temperature (C)", apps, values)
+
+
+def _multicore_runs(total_uops: int, seed: int):
+    configs = multicore_configs()
+    runs: Dict[str, Dict[str, object]] = {}
+    for profile in parallel_profiles():
+        runs[profile.name] = {
+            cfg.name: run_parallel(cfg, profile, total_uops, seed=seed)
+            for cfg in configs
+        }
+    return configs, runs
+
+
+def figure9(total_uops: int = MULTICORE_UOPS, seed: int = 1234) -> FigureSeries:
+    """Figure 9: multicore speedup over the 4-core Base."""
+    configs, runs = _multicore_runs(total_uops, seed)
+    apps = [p.name for p in parallel_profiles()]
+    values: Dict[str, List[float]] = {cfg.name: [] for cfg in configs}
+    for app in apps:
+        base = runs[app]["Base"]
+        for cfg in configs:
+            values[cfg.name].append(runs[app][cfg.name].speedup_over(base))
+    return FigureSeries("Figure 9: multicore speedup", apps, values)
+
+
+def figure10(total_uops: int = MULTICORE_UOPS, seed: int = 1234) -> FigureSeries:
+    """Figure 10: multicore energy normalised to the 4-core Base."""
+    configs, runs = _multicore_runs(total_uops, seed)
+    models = {cfg.name: power_model_for(cfg) for cfg in configs}
+    apps = [p.name for p in parallel_profiles()]
+    values: Dict[str, List[float]] = {cfg.name: [] for cfg in configs}
+    for app in apps:
+        base_report = models["Base"].evaluate_multicore(runs[app]["Base"])
+        for cfg in configs:
+            report = models[cfg.name].evaluate_multicore(runs[app][cfg.name])
+            # Normalise at equal total work.
+            scale = max(1, runs[app]["Base"].total_uops) / max(
+                1, runs[app][cfg.name].total_uops
+            )
+            values[cfg.name].append(report.total * scale / base_report.total)
+    return FigureSeries("Figure 10: multicore normalized energy", apps, values)

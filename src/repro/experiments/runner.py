@@ -1,0 +1,61 @@
+"""Run every reproduction experiment and print a full paper-shaped report.
+
+``python -m repro.experiments.runner`` regenerates every table and figure
+in one sweep — the programmatic equivalent of the benchmark suite, handy
+for eyeballing model-vs-paper agreement after a change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import figures, tables
+
+
+def run_tables() -> None:
+    """Print Tables 1-8 and 11, model vs paper."""
+    tables.print_rows("Table 1: via area overhead", tables.table1())
+    tables.print_rows("Table 2: via electrical characteristics", tables.table2())
+    tables.print_rows("Figure 2: relative areas", [tables.figure2()])
+    tables.print_rows("Table 3: bit partitioning (RF, BPT)", tables.table3())
+    tables.print_rows("Table 4: word partitioning (RF, BPT)", tables.table4())
+    tables.print_rows("Table 5: port partitioning (RF)", tables.table5())
+    tables.print_rows("Table 6 (M3D): best iso-layer partitions",
+                      tables.table6("M3D"))
+    tables.print_rows("Table 6 (TSV3D): best TSV partitions",
+                      tables.table6("TSV3D"))
+    tables.print_rows("Table 8: hetero-layer partitions", tables.table8())
+    tables.print_rows("Table 11: derived frequencies", tables.table11())
+
+
+def run_figures(uops: int, multicore_uops: int) -> None:
+    """Print Figures 6-10 with suite averages."""
+    figures.figure6(uops).print()
+    figures.figure7(uops).print()
+    figures.figure8(uops).print()
+    figures.figure9(multicore_uops).print()
+    figures.figure10(multicore_uops).print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uops", type=int, default=figures.SINGLE_CORE_UOPS,
+                        help="measured micro-ops per single-core run")
+    parser.add_argument("--multicore-uops", type=int,
+                        default=figures.MULTICORE_UOPS,
+                        help="total micro-ops per multicore run")
+    parser.add_argument("--tables-only", action="store_true")
+    parser.add_argument("--figures-only", action="store_true")
+    args = parser.parse_args()
+
+    started = time.time()
+    if not args.figures_only:
+        run_tables()
+    if not args.tables_only:
+        run_figures(args.uops, args.multicore_uops)
+    print(f"\nTotal experiment time: {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

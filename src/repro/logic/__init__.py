@@ -1,0 +1,50 @@
+"""Logic-stage modelling: gates, netlists, the Figure-5 adder, bypass
+networks, slack-based two-layer placement and the named stage partitions."""
+
+from repro.logic.adder import build_carry_skip_adder, noncritical_block_names
+from repro.logic.bypass import (
+    BypassResult,
+    bypass_delay,
+    bypass_energy,
+    bypass_wire_length,
+    evaluate_execute_stage,
+)
+from repro.logic.gates import Gate, GateType, fo4_delay
+from repro.logic.netlist import Netlist, Node
+from repro.logic.placement import PlacementResult, fold_stage, partition_netlist
+from repro.logic.stages import (
+    BlockPlacement,
+    StagePartition,
+    all_stages,
+    decode_stage,
+    fetch_stage,
+    issue_stage,
+    lsu_stage,
+    rename_stage,
+)
+
+__all__ = [
+    "build_carry_skip_adder",
+    "noncritical_block_names",
+    "BypassResult",
+    "bypass_delay",
+    "bypass_energy",
+    "bypass_wire_length",
+    "evaluate_execute_stage",
+    "Gate",
+    "GateType",
+    "fo4_delay",
+    "Netlist",
+    "Node",
+    "PlacementResult",
+    "fold_stage",
+    "partition_netlist",
+    "BlockPlacement",
+    "StagePartition",
+    "all_stages",
+    "decode_stage",
+    "fetch_stage",
+    "issue_stage",
+    "lsu_stage",
+    "rename_stage",
+]

@@ -1,0 +1,153 @@
+"""Hetero-layer treatments of the named pipeline stages (Sections 4.1-4.4).
+
+Each function captures one stage's partition decision from the paper and
+returns a :class:`StagePartition` describing which blocks go where and what
+latency consequences follow.  These are the qualitative architectural
+decisions the simulator consumes (e.g. the complex decoder gaining a cycle
+on the top layer), distinct from the quantitative netlist timing of
+:mod:`repro.logic.placement`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockPlacement:
+    """One block of a stage and the layer it goes to."""
+
+    block: str
+    layer: str  # "bottom" or "top"
+    critical: bool
+    note: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class StagePartition:
+    """The hetero-layer partition of one pipeline stage."""
+
+    stage: str
+    placements: Tuple[BlockPlacement, ...]
+    extra_cycles: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def bottom_blocks(self) -> List[str]:
+        return [p.block for p in self.placements if p.layer == "bottom"]
+
+    @property
+    def top_blocks(self) -> List[str]:
+        return [p.block for p in self.placements if p.layer == "top"]
+
+    def validate(self) -> None:
+        """Every critical block must sit in the bottom (fast) layer."""
+        for placement in self.placements:
+            if placement.critical and placement.layer != "bottom":
+                raise ValueError(
+                    f"{self.stage}: critical block {placement.block!r} "
+                    f"placed on the top layer"
+                )
+
+
+def decode_stage() -> StagePartition:
+    """Decode (Section 4.1.2): simple decoders below; the complex decoder
+    and the ucode ROM above, at the cost of one extra cycle for the
+    (uncommon) complex instructions."""
+    return StagePartition(
+        stage="decode",
+        placements=(
+            BlockPlacement("simple_decoders", "bottom", critical=True),
+            BlockPlacement(
+                "complex_decoder",
+                "top",
+                critical=False,
+                note="complex x86 instructions are rare; +1 cycle",
+            ),
+            BlockPlacement(
+                "ucode_rom", "top", critical=False, note="already multi-cycle"
+            ),
+        ),
+        extra_cycles={"complex_decode": 1},
+    )
+
+
+def rename_stage() -> StagePartition:
+    """Rename (Section 4.3.1): port-partitioned RAT; the dependence-check
+    logic and shadow (checkpoint) RATs ride on top."""
+    return StagePartition(
+        stage="rename",
+        placements=(
+            BlockPlacement("rat_decoder", "bottom", critical=True),
+            BlockPlacement("rat_array_pp", "bottom", critical=True,
+                           note="PP: storage + majority ports below"),
+            BlockPlacement("dependence_check", "top", critical=False,
+                           note="not in the critical path [37]"),
+            BlockPlacement("shadow_rats", "top", critical=False),
+        ),
+    )
+
+
+def fetch_stage() -> StagePartition:
+    """Fetch & branch prediction (Section 4.3.2): BP'd IL1, critical BTB
+    with asymmetric BP, selector's larger half below, predictors' larger
+    halves above, RAS and PC-increment above."""
+    return StagePartition(
+        stage="fetch",
+        placements=(
+            BlockPlacement("il1_bp", "bottom", critical=True),
+            BlockPlacement("btb_asym_bp", "bottom", critical=True),
+            BlockPlacement("selector_major", "bottom", critical=True,
+                           note="selector + mux form the critical path"),
+            BlockPlacement("local_predictor_major", "top", critical=False),
+            BlockPlacement("global_predictor_major", "top", critical=False),
+            BlockPlacement("ras", "top", critical=False),
+            BlockPlacement("pc_increment", "top", critical=False),
+        ),
+    )
+
+
+def issue_stage() -> StagePartition:
+    """Issue = wakeup + select (Section 4.4.1): the request phase and the
+    arbiter-grant generation are critical (bottom); the local-grant
+    generation is not (top)."""
+    return StagePartition(
+        stage="issue",
+        placements=(
+            BlockPlacement("iq_cam_asym_pp", "bottom", critical=True),
+            BlockPlacement("request_phase", "bottom", critical=True),
+            BlockPlacement("arbiter_grant", "bottom", critical=True,
+                           note="grant AND-propagate chain"),
+            BlockPlacement("local_grant", "top", critical=False),
+        ),
+    )
+
+
+def lsu_stage() -> StagePartition:
+    """Load-store unit (Section 4.4.2): SQ search -> priority encode ->
+    store-buffer read is critical; LQ search/squash is not."""
+    return StagePartition(
+        stage="lsu",
+        placements=(
+            BlockPlacement("sq_cam_asym_pp", "bottom", critical=True),
+            BlockPlacement("priority_encoder", "bottom", critical=True),
+            BlockPlacement("store_buffer_asym_bp", "bottom", critical=True,
+                           note="more bits in the bottom layer"),
+            BlockPlacement("lq_cam_asym_pp", "top", critical=False,
+                           note="squash-on-match is off the stage path"),
+        ),
+    )
+
+
+def all_stages() -> List[StagePartition]:
+    """Every explicitly partitioned stage, validated."""
+    stages = [
+        decode_stage(),
+        rename_stage(),
+        fetch_stage(),
+        issue_stage(),
+        lsu_stage(),
+    ]
+    for stage in stages:
+        stage.validate()
+    return stages

@@ -1,0 +1,39 @@
+"""Power modelling: per-stack energy factors, whole-core accounting,
+clock-tree model and DVFS / iso-power derivations."""
+
+from repro.power.clocktree import ClockTree, clock_energy_ratio
+from repro.power.core_power import (
+    CorePowerModel,
+    EnergyReport,
+    power_model_for,
+)
+from repro.power.dvfs import (
+    OperatingPoint,
+    iso_power_core_count,
+    min_voltage_at_base_frequency,
+    power_budget_check,
+)
+from repro.power.energy import (
+    StackEnergyFactors,
+    factors_for_stack,
+    leakage_temperature_scale,
+    vdd_dynamic_scale,
+    vdd_leakage_scale,
+)
+
+__all__ = [
+    "ClockTree",
+    "clock_energy_ratio",
+    "CorePowerModel",
+    "EnergyReport",
+    "power_model_for",
+    "OperatingPoint",
+    "iso_power_core_count",
+    "min_voltage_at_base_frequency",
+    "power_budget_check",
+    "StackEnergyFactors",
+    "factors_for_stack",
+    "leakage_temperature_scale",
+    "vdd_dynamic_scale",
+    "vdd_leakage_scale",
+]

@@ -1,0 +1,78 @@
+"""Clock-tree model (Section 3.3).
+
+The clock tree spans the whole core footprint; folding the core into two
+layers halves the area it must cover and shortens every branch.  The paper
+additionally adopts a constant 25% switching-power reduction (Section 6,
+following Puttaswamy & Loh).  This module gives the tree's wire length,
+capacitance and per-cycle energy as functions of footprint, so ablations
+can separate the two effects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.tech import constants
+from repro.tech.wire import SEMI_GLOBAL_WIRE
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockTree:
+    """An H-tree clock network over a rectangular footprint."""
+
+    footprint_m2: float
+    levels: int = 6
+    vdd: float = constants.VDD_NOMINAL_22NM
+
+    def __post_init__(self) -> None:
+        if self.footprint_m2 <= 0:
+            raise ValueError("footprint must be positive")
+        if self.levels < 1:
+            raise ValueError("need at least one tree level")
+
+    @property
+    def side(self) -> float:
+        return math.sqrt(self.footprint_m2)
+
+    @property
+    def wire_length(self) -> float:
+        """Total H-tree wire length (m): ~3x the side per doubling level."""
+        total = 0.0
+        segment = self.side / 2.0
+        count = 1
+        for _ in range(self.levels):
+            total += count * segment
+            count *= 2
+            segment /= 2.0 if count % 2 else 1.414
+        return total
+
+    @property
+    def capacitance(self) -> float:
+        """Total switched capacitance (F), wire plus sink loads."""
+        wire_cap = SEMI_GLOBAL_WIRE.capacitance(self.wire_length)
+        sink_cap = wire_cap * 0.8  # latch/driver loads comparable to wire
+        return wire_cap + sink_cap
+
+    @property
+    def energy_per_cycle(self) -> float:
+        """C V^2 per clock cycle (J) — the tree switches every cycle."""
+        return self.capacitance * self.vdd**2
+
+    def folded(self, footprint_reduction: float = 0.5) -> "ClockTree":
+        """The M3D tree: same sinks, half the footprint to cover."""
+        if not 0.0 <= footprint_reduction < 1.0:
+            raise ValueError("footprint reduction out of range")
+        return dataclasses.replace(
+            self, footprint_m2=self.footprint_m2 * (1.0 - footprint_reduction)
+        )
+
+
+def clock_energy_ratio(footprint_reduction: float = 0.5,
+                       switching_reduction: float =
+                       constants.CLOCK_TREE_POWER_REDUCTION_3D) -> float:
+    """Energy ratio of the folded tree vs 2D, combining both effects."""
+    tree = ClockTree(footprint_m2=10e-6)
+    folded = tree.folded(footprint_reduction)
+    wire_ratio = folded.energy_per_cycle / tree.energy_per_cycle
+    return wire_ratio * (1.0 - switching_reduction)

@@ -1,0 +1,25 @@
+"""Analytical SRAM/CAM modelling (the repo's CACTI replacement)."""
+
+from repro.sram.array import (
+    ArrayGeometry,
+    ArrayMetrics,
+    DelayBreakdown,
+    EnergyBreakdown,
+    PlaneResult,
+    analyze_plane,
+    banked_metrics,
+    solve_2d,
+)
+from repro.sram.bitcell import Bitcell
+
+__all__ = [
+    "ArrayGeometry",
+    "ArrayMetrics",
+    "DelayBreakdown",
+    "EnergyBreakdown",
+    "PlaneResult",
+    "analyze_plane",
+    "banked_metrics",
+    "solve_2d",
+    "Bitcell",
+]

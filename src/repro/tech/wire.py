@@ -1,0 +1,160 @@
+"""On-chip wire delay/energy models.
+
+Wires are the reason vertical processors win: transistor delay has scaled
+faster than wire delay for decades, so wire-dominated structures (SRAM
+word/bitlines, bypass networks, clock trees) dominate cycle time.  Folding a
+block into two layers shortens its wires by up to ~sqrt(2)x per dimension
+(~50% footprint), which is the first-order effect behind every table in the
+paper.
+
+The models here are the standard distributed-RC (Elmore) expressions used by
+CACTI, plus optimal-repeater insertion for semi-global wires.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.tech import constants
+from repro.tech.transistor import Transistor
+
+
+@dataclasses.dataclass(frozen=True)
+class WireTechnology:
+    """Per-unit-length electrical parameters of a metal layer.
+
+    Attributes
+    ----------
+    resistance_per_m:
+        Wire resistance per metre (Ohm/m).
+    capacitance_per_m:
+        Wire capacitance per metre (F/m), including coupling.
+    name:
+        Metal class label.
+    """
+
+    resistance_per_m: float = constants.WIRE_RES_PER_M
+    capacitance_per_m: float = constants.WIRE_CAP_PER_M
+    name: str = "local-cu"
+
+    def __post_init__(self) -> None:
+        if self.resistance_per_m <= 0 or self.capacitance_per_m <= 0:
+            raise ValueError("wire RC per metre must be positive")
+
+    def with_tungsten(self) -> "WireTechnology":
+        """Tungsten variant of this metal (bottom-layer interconnect option).
+
+        Section 2.4.2: tungsten survives the top-layer anneal but has 3x the
+        resistance of copper.
+        """
+        return dataclasses.replace(
+            self,
+            resistance_per_m=self.resistance_per_m
+            * constants.TUNGSTEN_RESISTANCE_FACTOR,
+            name=self.name.replace("cu", "w"),
+        )
+
+    def resistance(self, length: float) -> float:
+        """Total resistance of a wire of the given length (Ohm)."""
+        _check_length(length)
+        return self.resistance_per_m * length
+
+    def capacitance(self, length: float) -> float:
+        """Total capacitance of a wire of the given length (F)."""
+        _check_length(length)
+        return self.capacitance_per_m * length
+
+    def elmore_delay(self, length: float, driver: Transistor, load_cap: float = 0.0) -> float:
+        """Delay of a driver pushing a distributed-RC wire into a load (s).
+
+        ``t = 0.69 * R_drv * (C_wire + C_load) + 0.38 * R_wire * C_wire
+        + 0.69 * R_wire * C_load`` — the classic Elmore decomposition.
+        The quadratic ``R_wire*C_wire`` term is why halving a wordline
+        more than halves its wire delay.
+        """
+        _check_length(length)
+        if load_cap < 0:
+            raise ValueError("load capacitance must be non-negative")
+        r_wire = self.resistance(length)
+        c_wire = self.capacitance(length)
+        r_drv = driver.drive_resistance
+        return (
+            0.69 * r_drv * (c_wire + load_cap)
+            + 0.38 * r_wire * c_wire
+            + 0.69 * r_wire * load_cap
+        )
+
+    def switching_energy(self, length: float, vdd: float, load_cap: float = 0.0) -> float:
+        """Energy of one full swing of the wire plus load (J): ``C V^2``.
+
+        (Per-transition energy is half this; we follow CACTI and charge the
+        full ``C V^2`` per access with activity factors applied elsewhere.)
+        """
+        _check_length(length)
+        if vdd <= 0:
+            raise ValueError("vdd must be positive")
+        return (self.capacitance(length) + load_cap) * vdd**2
+
+    def repeated_delay_per_m(self, repeater: Transistor) -> float:
+        """Delay per metre of an optimally repeated wire (s/m).
+
+        With optimal repeater insertion, delay grows linearly with length:
+        ``t/L ~ 2 * sqrt(0.69 * 0.38 * R_drv * C_gate * r_w * c_w)`` (per
+        Bakoglu).  Used for semi-global/global wires such as NoC links.
+        """
+        r_drv = repeater.drive_resistance
+        c_g = repeater.gate_capacitance + repeater.drain_capacitance
+        return 2.0 * math.sqrt(
+            0.69 * 0.38 * r_drv * c_g * self.resistance_per_m * self.capacitance_per_m
+        )
+
+
+def _check_length(length: float) -> None:
+    if length < 0:
+        raise ValueError(f"wire length must be non-negative, got {length}")
+
+
+#: Default metal classes used across the library.
+LOCAL_WIRE = WireTechnology(name="local-cu")
+SEMI_GLOBAL_WIRE = WireTechnology(
+    resistance_per_m=constants.WIRE_RES_PER_M / 4.0,
+    capacitance_per_m=constants.WIRE_CAP_PER_M * 1.1,
+    name="semi-global-cu",
+)
+GLOBAL_WIRE = WireTechnology(
+    resistance_per_m=constants.WIRE_RES_PER_M / 16.0,
+    capacitance_per_m=constants.WIRE_CAP_PER_M * 1.2,
+    name="global-cu",
+)
+
+
+def folded_length(length_2d: float, footprint_reduction: float) -> float:
+    """Wire length after folding a block into two layers.
+
+    A block folded to ``(1 - footprint_reduction)`` of its area shrinks
+    linear distances by the square root of the area ratio.  A 50% footprint
+    reduction shortens a semi-global wire by up to ~29%; the paper quotes
+    "reducing the distance traversed by the semi-global wires by up to 50%"
+    for paths that can additionally exploit the third dimension — callers
+    choose the exponent via :func:`folded_length_3d`.
+    """
+    _check_length(length_2d)
+    if not 0.0 <= footprint_reduction < 1.0:
+        raise ValueError("footprint reduction must be in [0, 1)")
+    return length_2d * math.sqrt(1.0 - footprint_reduction)
+
+
+def folded_length_3d(length_2d: float, footprint_reduction: float) -> float:
+    """Best-case folded wire length for paths re-routed through the stack.
+
+    Paths whose endpoints can be placed directly above each other (e.g. a
+    bypass wire between an ALU and a register-file port split across layers)
+    see the full footprint reduction in linear distance, not just its square
+    root — "reducing the distance traversed by the semi-global wires by up to
+    50%" (Section 3.1).
+    """
+    _check_length(length_2d)
+    if not 0.0 <= footprint_reduction < 1.0:
+        raise ValueError("footprint reduction must be in [0, 1)")
+    return length_2d * (1.0 - footprint_reduction)

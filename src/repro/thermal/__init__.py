@@ -1,0 +1,42 @@
+"""Thermal modelling: Table 10 layer stacks, Ryzen-like floorplans and a
+steady-state grid solver (the HotSpot substitute)."""
+
+from repro.thermal.floorplan import (
+    Block,
+    Floorplan,
+    floorplan_2d,
+    floorplan_folded,
+)
+from repro.thermal.grid import ThermalSolution, solve_floorplans, solve_stack
+from repro.thermal.hotspot import (
+    ThermalReport,
+    peak_temperature_2d,
+    peak_temperature_m3d,
+    peak_temperature_tsv3d,
+)
+from repro.thermal.stack import (
+    ThermalLayer,
+    ThermalStack,
+    stack_2d_thermal,
+    stack_m3d_thermal,
+    stack_tsv3d_thermal,
+)
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "floorplan_2d",
+    "floorplan_folded",
+    "ThermalSolution",
+    "solve_floorplans",
+    "solve_stack",
+    "ThermalReport",
+    "peak_temperature_2d",
+    "peak_temperature_m3d",
+    "peak_temperature_tsv3d",
+    "ThermalLayer",
+    "ThermalStack",
+    "stack_2d_thermal",
+    "stack_m3d_thermal",
+    "stack_tsv3d_thermal",
+]

@@ -1,0 +1,91 @@
+"""Peak-temperature evaluation per design (Figure 8).
+
+For each application the paper reports the hottest point in the core for
+Base (2D), TSV3D and M3D-Het.  Here, the power model's per-app core power
+feeds the app-aware floorplan, which feeds the grid solver on the right
+stack.  The expected shape: M3D-Het ~5C above Base on average (max ~10C),
+TSV3D ~30C above and over Tjmax ~ 100C for the hottest applications.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.thermal.floorplan import floorplan_2d, floorplan_folded
+from repro.thermal.grid import ThermalSolution, solve_floorplans
+from repro.thermal.stack import (
+    ThermalStack,
+    stack_2d_thermal,
+    stack_m3d_thermal,
+    stack_tsv3d_thermal,
+)
+from repro.workloads.profiles import AppProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalReport:
+    """Peak temperature of one design running one application."""
+
+    design: str
+    trace_name: str
+    peak_c: float
+    bottom_layer_peak_c: float
+    top_layer_peak_c: float
+
+    @property
+    def exceeds_tjmax(self) -> bool:
+        return self.peak_c > 100.0
+
+
+def _report(design: str, trace: str, solution: ThermalSolution,
+            stack: ThermalStack) -> ThermalReport:
+    active = stack.active_indices
+    bottom_peak = solution.layer_peak(active[0])
+    top_peak = solution.layer_peak(active[-1])
+    return ThermalReport(
+        design=design,
+        trace_name=trace,
+        peak_c=solution.peak_c,
+        bottom_layer_peak_c=bottom_peak,
+        top_layer_peak_c=top_peak,
+    )
+
+
+def peak_temperature_2d(core_power: float,
+                        profile: Optional[AppProfile] = None,
+                        grid: int = 16) -> ThermalReport:
+    """Peak temperature of the 2D baseline at the given core power."""
+    stack = stack_2d_thermal()
+    plan = floorplan_2d(core_power, profile)
+    solution = solve_floorplans(stack, [plan], grid=grid)
+    name = profile.name if profile is not None else "uniform"
+    return _report("Base", name, solution, stack)
+
+
+def peak_temperature_m3d(core_power: float,
+                         profile: Optional[AppProfile] = None,
+                         grid: int = 16) -> ThermalReport:
+    """Peak temperature of the folded M3D-Het core.
+
+    Power density rises with the halved footprint, but the thin ILD keeps
+    the layers thermally coupled and the PP-partitioned hot blocks shed
+    extra power — the two effects behind Section 7.1.3's small deltas.
+    """
+    stack = stack_m3d_thermal()
+    plans = floorplan_folded(core_power, profile, hot_block_extra_saving=True)
+    solution = solve_floorplans(stack, plans, grid=grid)
+    name = profile.name if profile is not None else "uniform"
+    return _report("M3D-Het", name, solution, stack)
+
+
+def peak_temperature_tsv3d(core_power: float,
+                           profile: Optional[AppProfile] = None,
+                           grid: int = 16) -> ThermalReport:
+    """Peak temperature of the TSV3D core: same folding, but the bottom
+    die sits under 20um of dielectric."""
+    stack = stack_tsv3d_thermal()
+    plans = floorplan_folded(core_power, profile, hot_block_extra_saving=False)
+    solution = solve_floorplans(stack, plans, grid=grid)
+    name = profile.name if profile is not None else "uniform"
+    return _report("TSV3D", name, solution, stack)

@@ -1,0 +1,39 @@
+"""Microarchitecture simulation: OOO core, predictor, caches, ring NoC and
+the multicore barrier-aligned model (the repo's Multi2Sim replacement)."""
+
+from repro.uarch.bpred import PredictorStats, TournamentPredictor
+from repro.uarch.cache import (
+    AccessResult,
+    CacheHierarchy,
+    CoherenceDirectory,
+    SetAssociativeCache,
+)
+from repro.uarch.interval import WorkloadStats, predict_cpi, predict_speedup
+from repro.uarch.isa import FU_POOLS, OP_LATENCY, MicroOp, OpClass, Trace
+from repro.uarch.multicore import MulticoreResult, run_parallel
+from repro.uarch.noc import RingNoc
+from repro.uarch.ooo import OutOfOrderCore, SimResult, SimStats, run_trace
+
+__all__ = [
+    "PredictorStats",
+    "TournamentPredictor",
+    "AccessResult",
+    "CacheHierarchy",
+    "CoherenceDirectory",
+    "SetAssociativeCache",
+    "WorkloadStats",
+    "predict_cpi",
+    "predict_speedup",
+    "FU_POOLS",
+    "OP_LATENCY",
+    "MicroOp",
+    "OpClass",
+    "Trace",
+    "MulticoreResult",
+    "run_parallel",
+    "RingNoc",
+    "OutOfOrderCore",
+    "SimResult",
+    "SimStats",
+    "run_trace",
+]

@@ -1,0 +1,177 @@
+"""Set-associative cache hierarchy (Table 9).
+
+Private IL1 (32KB/4-way/32B) and DL1 (32KB/8-way/32B), private L2
+(256KB/8-way/64B), and a shared L3 (2MB per core, 16-way, 64B).  LRU
+replacement throughout.  The hierarchy returns *round-trip latencies in
+core cycles* straight from the :class:`~repro.core.configs.CoreConfig`,
+so a higher-clocked M3D core automatically pays more cycles for DRAM —
+the effect the paper notes in Section 7.1.1.
+
+For multicores, an optional coherence layer tracks which core last wrote a
+line; a read of a remote-dirty line costs an extra NoC round trip
+(MESI-style cache-to-cache transfer).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.configs import CoreConfig
+
+
+#: Lines fetched ahead by the L2 stream prefetcher on each L2 miss.
+PREFETCH_DEGREE = 4
+
+
+class SetAssociativeCache:
+    """One LRU set-associative cache level."""
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int,
+                 name: str = "cache") -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError(f"{name}: size not divisible by ways*line")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.sets = size_bytes // (ways * line_bytes)
+        self.ways = ways
+        self._lines: List[List[int]] = [[] for _ in range(self.sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access an address; True on hit.  Installs the line on miss."""
+        self.accesses += 1
+        tag = address // self.line_bytes
+        line = self._lines[tag % self.sets]
+        if tag in line:
+            line.remove(tag)
+            line.insert(0, tag)
+            return True
+        self.misses += 1
+        line.insert(0, tag)
+        if len(line) > self.ways:
+            line.pop()
+        return False
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of one memory access through the hierarchy."""
+
+    latency: int
+    level: str  # "L1", "L2", "L3", "DRAM", "remote"
+
+
+class CacheHierarchy:
+    """Private L1s + private L2 + shared L3 for one core."""
+
+    def __init__(self, config: CoreConfig, core_id: int = 0,
+                 coherence: Optional["CoherenceDirectory"] = None) -> None:
+        self.config = config
+        self.core_id = core_id
+        self.il1 = SetAssociativeCache(32 * 1024, 4, 32, "IL1")
+        self.dl1 = SetAssociativeCache(32 * 1024, 8, 32, "DL1")
+        # Figure 4: folded core pairs share their two L2s, doubling the
+        # capacity visible to each core.
+        l2_bytes = 512 * 1024 if config.shared_l2 else 256 * 1024
+        self.l2 = SetAssociativeCache(l2_bytes, 8, 64, "L2")
+        self.l3 = SetAssociativeCache(2 * 1024 * 1024, 16, 64, "L3")
+        self.coherence = coherence
+
+    def preload(self, data_lines, code_lines) -> None:
+        """Install checkpoint-warm state (LRU keeps what fits).
+
+        Insertion order is the residency order: for working sets larger
+        than a level, only the most recently inserted capacity-worth stays,
+        exactly as steady-state LRU would leave it.  Data goes in first and
+        code last — the instruction stream is re-touched constantly, so at
+        steady state it is the most recently used resident.
+        """
+        for address in data_lines:
+            self.dl1.access(address)
+            self.l2.access(address)
+            self.l3.access(address)
+        for address in code_lines:
+            self.il1.access(address)
+            self.l2.access(address)
+            self.l3.access(address)
+        for cache in (self.il1, self.dl1, self.l2, self.l3):
+            cache.accesses = 0
+            cache.misses = 0
+
+    def fetch(self, address: int) -> AccessResult:
+        """Instruction fetch access."""
+        if self.il1.access(address):
+            return AccessResult(self.config.il1_cycles, "L1")
+        if self.l2.access(address):
+            return AccessResult(self.config.l2_cycles, "L2")
+        if self.l3.access(address):
+            return AccessResult(self.config.l3_cycles, "L3")
+        return AccessResult(self.config.l3_cycles + self.config.dram_cycles, "DRAM")
+
+    def data_access(self, address: int, is_store: bool = False,
+                    noc_penalty: int = 0) -> AccessResult:
+        """Data access; ``noc_penalty`` is the extra ring latency to the
+        shared L3 / remote caches in a multicore."""
+        coherence_extra = 0
+        if self.coherence is not None:
+            coherence_extra = self.coherence.account(
+                self.core_id, address, is_store, noc_penalty
+            )
+        if self.dl1.access(address):
+            return AccessResult(self.config.dl1_cycles + coherence_extra, "L1")
+        if self.l2.access(address):
+            return AccessResult(self.config.l2_cycles + coherence_extra, "L2")
+        # L2 miss: the stream prefetcher pulls the next lines into L2, so a
+        # sequential walk pays the long-latency miss only once per run of
+        # lines rather than once per line (standard hardware behaviour;
+        # pointer chasing gets no benefit).
+        for ahead in range(1, PREFETCH_DEGREE + 1):
+            next_line = address + ahead * self.l2.line_bytes
+            self.l2.access(next_line)
+            self.l3.access(next_line)
+        if self.l3.access(address):
+            return AccessResult(
+                self.config.l3_cycles + noc_penalty + coherence_extra, "L3"
+            )
+        return AccessResult(
+            self.config.l3_cycles + noc_penalty + self.config.dram_cycles
+            + coherence_extra,
+            "DRAM",
+        )
+
+
+class CoherenceDirectory:
+    """MESI-flavoured sharing tracker for the multicore (Table 9's
+    "Ring with MESI directory-based protocol").
+
+    Tracks the last writer of each line.  A core touching a line that is
+    dirty in another core's cache pays a cache-to-cache transfer: one NoC
+    round trip.  Writes claim ownership and (logically) invalidate sharers.
+    """
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self.line_bytes = line_bytes
+        self._owner: Dict[int, int] = {}
+        self.transfers = 0
+        self.invalidations = 0
+
+    def account(self, core_id: int, address: int, is_store: bool,
+                noc_penalty: int) -> int:
+        line = address // self.line_bytes
+        owner = self._owner.get(line)
+        extra = 0
+        if owner is not None and owner != core_id:
+            # Remote-dirty: cache-to-cache transfer across the ring.
+            self.transfers += 1
+            extra = max(2, noc_penalty)
+            if is_store:
+                self.invalidations += 1
+        if is_store:
+            self._owner[line] = core_id
+        return extra

@@ -1,0 +1,69 @@
+"""Analytical (interval) performance model — a fast cross-check.
+
+Interval analysis (Karkhanis & Smith) predicts IPC from first-order
+statistics: the core sustains its dispatch width between *miss events*
+(branch mispredictions, long-latency cache misses), each of which drains
+and refills the window.  The model is orders of magnitude faster than the
+cycle model and is used by tests to sanity-check the simulator's trends —
+if the two disagree on the *direction* of a config change, something is
+broken.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.configs import CoreConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadStats:
+    """First-order statistics of a workload (per instruction)."""
+
+    mispredicts_per_kilo: float
+    l2_misses_per_kilo: float  # hits in L3
+    dram_misses_per_kilo: float
+    base_ipc_limit: float = 4.0  # dataflow/width limit with no miss events
+
+    def __post_init__(self) -> None:
+        if self.base_ipc_limit <= 0:
+            raise ValueError("base IPC limit must be positive")
+        if min(self.mispredicts_per_kilo, self.l2_misses_per_kilo,
+               self.dram_misses_per_kilo) < 0:
+            raise ValueError("event rates must be non-negative")
+
+
+def predict_cpi(config: CoreConfig, workload: WorkloadStats,
+                memory_parallelism: float = 3.0) -> float:
+    """Predicted cycles per instruction under interval analysis.
+
+    ``CPI = 1/ipc_limit + sum_events(rate * penalty)``; long-latency
+    misses overlap by ``memory_parallelism``.
+    """
+    base = 1.0 / min(workload.base_ipc_limit, config.dispatch_width)
+    branch_penalty = config.branch_mispredict_cycles
+    cpi = base
+    cpi += workload.mispredicts_per_kilo / 1000.0 * branch_penalty
+    cpi += workload.l2_misses_per_kilo / 1000.0 * (
+        config.l3_cycles / memory_parallelism
+    )
+    cpi += workload.dram_misses_per_kilo / 1000.0 * (
+        (config.l3_cycles + config.dram_cycles) / memory_parallelism
+    )
+    # Load-to-use: every instruction pays a share of the load feed delay.
+    cpi += 0.06 * (config.load_to_use_cycles - 3)
+    return cpi
+
+
+def predict_runtime(config: CoreConfig, workload: WorkloadStats,
+                    instructions: int) -> float:
+    """Predicted wall-clock seconds for ``instructions``."""
+    return instructions * predict_cpi(config, workload) / config.frequency
+
+
+def predict_speedup(config: CoreConfig, base: CoreConfig,
+                    workload: WorkloadStats) -> float:
+    """Analytical speedup of ``config`` over ``base`` on a workload."""
+    return predict_runtime(base, workload, 1000) / predict_runtime(
+        config, workload, 1000
+    )

@@ -1,0 +1,139 @@
+"""Micro-op trace format consumed by the simulator.
+
+The simulator is trace-driven (the paper drives Multi2Sim with SPEC2006 /
+SPLASH2 / PARSEC binaries; we drive our core model with statistically
+faithful synthetic traces).  A trace is a sequence of :class:`MicroOp`
+records carrying:
+
+* the operation class (which functional unit and latency it needs),
+* register dependencies, expressed as *producer distances* (how many µops
+  back each source operand was produced — the standard trace-driven way to
+  encode dataflow without register names),
+* a memory address for loads/stores (fed to the real cache hierarchy),
+* a PC and taken/not-taken outcome for branches (fed to the real
+  tournament predictor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Sequence
+
+
+class OpClass(enum.Enum):
+    """Functional-unit classes with Table 9 latencies."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    FP_DIV = "fp_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    COMPLEX = "complex"  # multi-uop x86 instruction (complex decoder path)
+    SYNC = "sync"  # barrier/lock marker in parallel traces
+
+
+#: Execution latency in cycles per op class (Table 9's FUs & latencies).
+OP_LATENCY = {
+    OpClass.ALU: 1,
+    OpClass.MUL: 2,
+    OpClass.DIV: 4,
+    OpClass.FP_ADD: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 8,
+    OpClass.LOAD: 1,  # plus the cache round trip
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.COMPLEX: 1,
+    OpClass.SYNC: 1,
+}
+
+#: Functional-unit pools (Table 9): class -> number of units.
+FU_POOLS = {
+    OpClass.ALU: 4,
+    OpClass.MUL: 2,
+    OpClass.DIV: 2,
+    OpClass.FP_ADD: 2,
+    OpClass.FP_MUL: 2,
+    OpClass.FP_DIV: 2,
+    OpClass.LOAD: 2,  # 2 LSUs
+    OpClass.STORE: 2,
+    OpClass.BRANCH: 4,  # branches resolve on the ALUs
+    OpClass.COMPLEX: 4,
+    OpClass.SYNC: 4,
+}
+
+#: Issue-rate restriction: FP divide issues every 8 cycles (Table 9).
+FP_DIV_ISSUE_INTERVAL = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroOp:
+    """One micro-operation in a trace."""
+
+    op: OpClass
+    #: Producer distances for up to two source operands (1 = the previous
+    #: µop produced it).  ``None`` means the operand is ready (register
+    #: value older than the window).
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    #: Memory address (loads/stores).
+    address: Optional[int] = None
+    #: Branch PC and resolved direction (branches).
+    pc: int = 0
+    taken: bool = False
+    #: Barrier id for SYNC ops in parallel traces.
+    barrier: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op in (OpClass.LOAD, OpClass.STORE) and self.address is None:
+            raise ValueError(f"{self.op} requires an address")
+        for dist in (self.src1, self.src2):
+            if dist is not None and dist < 1:
+                raise ValueError("producer distance must be >= 1")
+
+
+@dataclasses.dataclass
+class Trace:
+    """A finished instruction trace plus its identity.
+
+    ``warmup_ops`` marks a fast-forward prefix: the simulator replays it
+    through the caches and predictor untimed, then measures the rest —
+    the standard steady-state methodology for sampled simulation.
+    """
+
+    name: str
+    ops: List[MicroOp]
+    warmup_ops: int = 0
+    #: Checkpoint-style warm state: line addresses resident in the data /
+    #: instruction hierarchy at the start of the measured region.
+    resident_data: List[int] = dataclasses.field(default_factory=list)
+    resident_code: List[int] = dataclasses.field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def op_mix(self) -> dict:
+        """Fraction of each op class in the trace (for sanity checks)."""
+        counts: dict = {}
+        for op in self.ops:
+            counts[op.op] = counts.get(op.op, 0) + 1
+        total = max(1, len(self.ops))
+        return {klass: count / total for klass, count in counts.items()}
+
+
+def validate_trace(ops: Sequence[MicroOp]) -> None:
+    """Raise if any µop references a producer outside the trace prefix."""
+    for index, op in enumerate(ops):
+        for dist in (op.src1, op.src2):
+            if dist is not None and dist > index:
+                raise ValueError(
+                    f"uop {index} references producer {dist} before trace start"
+                )

@@ -1,0 +1,127 @@
+"""Multicore simulation: N cores, shared L3, ring NoC, barrier alignment.
+
+The paper's multicore experiments (Figures 9 and 10) run 15 SPLASH2/PARSEC
+applications on four- and eight-core systems.  The model here:
+
+* splits the application's total work evenly across cores (so an 8-core
+  M3D-Het-2X runs half the per-core work of a 4-core Base — the source of
+  its near-2x speedup),
+* runs each core's trace through the full out-of-order model, with a
+  shared coherence directory and a ring-NoC penalty on L3/remote accesses,
+* aligns cores at the barriers their traces carry: the time of each
+  barrier-to-barrier phase is the *maximum* across cores (stragglers set
+  the pace; the profile's ``imbalance`` creates them).
+
+Figure 4's shared router stops (pairs of folded cores sharing L2s and a
+stop) enter through the NoC model: fewer stops, shorter links, lower
+average latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.core.configs import CoreConfig
+from repro.uarch.cache import CoherenceDirectory
+from repro.uarch.noc import RingNoc
+from repro.uarch.ooo import OutOfOrderCore, SimResult
+from repro.workloads.profiles import AppProfile
+
+#: Cycles to run the barrier protocol itself (flag propagation on the ring).
+BARRIER_OVERHEAD_CYCLES: int = 40
+
+
+@dataclasses.dataclass(frozen=True)
+class MulticoreResult:
+    """Outcome of one parallel application on one multicore config."""
+
+    config_name: str
+    trace_name: str
+    cycles: int
+    frequency: float
+    per_core: List[SimResult]
+    barrier_wait_cycles: int
+    coherence_transfers: int
+    noc_latency: int
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency
+
+    @property
+    def total_uops(self) -> int:
+        return sum(result.stats.uops for result in self.per_core)
+
+    def speedup_over(self, other: "MulticoreResult") -> float:
+        """Wall-clock speedup at equal total work."""
+        scale = other.total_uops / max(1, self.total_uops)
+        return other.seconds / (self.seconds * scale)
+
+
+def _phase_durations(result: SimResult) -> List[int]:
+    """Cycle length of each barrier-to-barrier phase of one core's run."""
+    markers = result.stats.sync_commit_cycles
+    phases: List[int] = []
+    previous = 0
+    for marker in markers:
+        phases.append(marker - previous)
+        previous = marker
+    phases.append(result.cycles - previous)  # tail after the last barrier
+    return phases
+
+
+def run_parallel(
+    config: CoreConfig,
+    profile: AppProfile,
+    total_uops: int,
+    seed: int = 1234,
+) -> MulticoreResult:
+    """Run one parallel application across the config's cores.
+
+    ``total_uops`` is the application's total (measured) work; each core
+    executes ``total_uops / num_cores`` of it.
+    """
+    # Imported here to keep repro.uarch importable without repro.workloads
+    # (the two packages reference each other at the edges).
+    from repro.workloads.generator import generate_trace
+
+    if not profile.is_parallel:
+        raise ValueError(f"{profile.name} is not a parallel profile")
+    cores = config.num_cores
+    per_core_uops = max(1000, total_uops // cores)
+
+    noc = RingNoc(cores, shared_stops=config.shared_l2)
+    coherence = CoherenceDirectory()
+    results: List[SimResult] = []
+    for core_id in range(cores):
+        trace = generate_trace(profile, per_core_uops, seed=seed, thread=core_id)
+        core = OutOfOrderCore(
+            config,
+            core_id=core_id,
+            coherence=coherence,
+            noc_penalty=noc.average_latency,
+        )
+        results.append(core.run(trace))
+
+    # Barrier alignment: phase k completes when the slowest core does.
+    phase_lists = [_phase_durations(result) for result in results]
+    num_phases = min(len(phases) for phases in phase_lists)
+    total_cycles = 0
+    wait_cycles = 0
+    for k in range(num_phases):
+        durations = [phases[k] for phases in phase_lists]
+        longest = max(durations)
+        total_cycles += longest + BARRIER_OVERHEAD_CYCLES
+        wait_cycles += sum(longest - d for d in durations)
+
+    return MulticoreResult(
+        config_name=config.name,
+        trace_name=profile.name,
+        cycles=total_cycles,
+        frequency=config.frequency,
+        per_core=results,
+        barrier_wait_cycles=wait_cycles,
+        coherence_transfers=coherence.transfers,
+        noc_latency=noc.average_latency,
+    )

@@ -1,0 +1,65 @@
+"""Ring network-on-chip model (Table 9: "Ring with MESI directory-based
+protocol").
+
+The quantity the rest of the system needs is the average extra latency a
+core pays to reach the shared L3 / a remote cache.  Folding cores in M3D
+lets *two cores share one router stop* (Figure 4), halving both the number
+of stops and the physical link length — the global-wire benefit of
+Section 3.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+#: Cycles per router traversal (arbitration + crossbar).
+ROUTER_CYCLES: int = 1
+
+#: Cycles per inter-stop link at the 2D link length.
+LINK_CYCLES_2D: int = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class RingNoc:
+    """A unidirectional ring with one stop per core (or core pair)."""
+
+    num_cores: int
+    shared_stops: bool = False  # Figure 4: two folded cores per stop
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("NoC needs at least one core")
+
+    @property
+    def num_stops(self) -> int:
+        """Router stops on the ring."""
+        if self.shared_stops:
+            return max(1, math.ceil(self.num_cores / 2))
+        return self.num_cores
+
+    @property
+    def link_cycles(self) -> int:
+        """Per-hop link latency; folded cores halve the stop spacing."""
+        return max(1, LINK_CYCLES_2D // 2) if self.shared_stops else LINK_CYCLES_2D
+
+    @property
+    def average_hops(self) -> float:
+        """Mean stop-to-stop distance on a ring (uniform traffic)."""
+        return self.num_stops / 2.0
+
+    @property
+    def average_latency(self) -> int:
+        """Mean one-way latency (cycles) to a uniformly random stop."""
+        per_hop = ROUTER_CYCLES + self.link_cycles
+        return max(1, round(self.average_hops * per_hop))
+
+    def link_energy_per_flit(self, vdd: float = 0.8) -> float:
+        """Energy of moving one 64-bit flit across one link (J).
+
+        The link wire is ~2mm in 2D (halved with shared stops); 0.2fF/um
+        gives ~0.4nF/m-bit... modelled as C_link * V^2 per bit.
+        """
+        link_m = 2e-3 * (0.5 if self.shared_stops else 1.0)
+        cap_per_bit = 0.25e-9 * link_m  # F
+        return 64.0 * cap_per_bit * vdd**2

@@ -1,0 +1,320 @@
+"""Out-of-order core timing model.
+
+A trace-driven scoreboard scheduler in the style of classic trace
+simulators: every micro-op's fetch, rename, issue, completion and commit
+cycles are computed in program order under the structural constraints of
+Table 9 —
+
+* fetch bandwidth, front-end redirect after branch mispredictions
+  (the config's ``branch_mispredict_cycles`` path),
+* dispatch width gated by ROB / IQ / LQ / SQ occupancy,
+* issue width, functional-unit pools and latencies (Table 9),
+* the load-to-use path (4 cycles in 2D, 3 in the 3D designs),
+* a real tournament predictor and a real cache hierarchy (the simulator
+  consults them; nothing is a fixed probability).
+
+The model is cycle-faithful for the interactions the paper's evaluation
+depends on (frequency vs memory latency in core clocks, shorter
+load-to-use and branch paths) while remaining fast enough to sweep 21
+applications across six configurations in pure Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.configs import CoreConfig
+from repro.uarch.bpred import TournamentPredictor
+from repro.uarch.cache import CacheHierarchy, CoherenceDirectory
+from repro.uarch.isa import (
+    FP_DIV_ISSUE_INTERVAL,
+    FU_POOLS,
+    OP_LATENCY,
+    MicroOp,
+    OpClass,
+    Trace,
+)
+
+#: Front-end depth from fetch to rename (cycles).
+FRONT_END_DEPTH = 5
+
+#: Micro-ops per instruction-fetch block (one IL1 access per block).
+FETCH_BLOCK_UOPS = 8
+
+
+@dataclasses.dataclass
+class SimStats:
+    """Activity counters collected during a run (consumed by the power
+    model and the experiment reports)."""
+
+    uops: int = 0
+    cycles: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    loads: int = 0
+    stores: int = 0
+    fp_ops: int = 0
+    complex_decodes: int = 0
+    mem_level_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
+    ifetch_blocks: int = 0
+    sync_stall_cycles: int = 0
+    #: Commit cycle of every SYNC (barrier) marker, for barrier alignment
+    #: in the multicore model.
+    sync_commit_cycles: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def ipc(self) -> float:
+        return self.uops / self.cycles if self.cycles else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one trace on one configuration."""
+
+    config_name: str
+    trace_name: str
+    cycles: int
+    frequency: float
+    stats: SimStats
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / self.frequency
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """Wall-clock speedup of this run relative to another."""
+        return other.seconds / self.seconds
+
+
+class _WidthLimiter:
+    """Allocates at most ``width`` slots per cycle, monotonically."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._cycle = 0
+        self._used = 0
+
+    def allocate(self, earliest: int) -> int:
+        """Return the first cycle >= earliest with a free slot."""
+        if earliest > self._cycle:
+            self._cycle = earliest
+            self._used = 0
+        if self._used >= self.width:
+            self._cycle += 1
+            self._used = 0
+        self._used += 1
+        return self._cycle
+
+
+class _PerCycleBandwidth:
+    """Out-of-order bandwidth limiter: at most ``width`` events per cycle,
+    with no ordering constraint between allocations (unlike the in-order
+    :class:`_WidthLimiter`, which models pipeline stages that handle ops
+    in program order).  The issue stage must use this one — a monotonic
+    limiter would silently serialise issue and destroy memory-level
+    parallelism."""
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._used: Dict[int, int] = {}
+
+    def allocate(self, earliest: int) -> int:
+        cycle = earliest
+        used = self._used
+        while used.get(cycle, 0) >= self.width:
+            cycle += 1
+        used[cycle] = used.get(cycle, 0) + 1
+        return cycle
+
+
+class _FuPool:
+    """A pool of identical units with out-of-order, per-cycle occupancy.
+
+    Pipelined units (busy = 1) accept one new op per unit per cycle;
+    blocking units (the divides) occupy a unit for their full latency.
+    """
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+        self._used: Dict[int, int] = {}
+
+    def reserve(self, earliest: int, busy: int) -> int:
+        """First cycle >= earliest where a unit can accept the op."""
+        cycle = earliest
+        used = self._used
+        while True:
+            if all(used.get(cycle + k, 0) < self._count for k in range(busy)):
+                for k in range(busy):
+                    used[cycle + k] = used.get(cycle + k, 0) + 1
+                return cycle
+            cycle += 1
+
+
+class OutOfOrderCore:
+    """One core: OOO engine + predictor + cache hierarchy."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        core_id: int = 0,
+        coherence: Optional[CoherenceDirectory] = None,
+        noc_penalty: int = 0,
+    ) -> None:
+        self.config = config
+        self.core_id = core_id
+        self.predictor = TournamentPredictor()
+        self.caches = CacheHierarchy(config, core_id, coherence)
+        self.noc_penalty = noc_penalty
+
+    def warmup(self, ops) -> None:
+        """Prime the caches and the branch predictor with a fast-forward
+        replay of the trace's warmup prefix.
+
+        Short synthetic traces would otherwise be dominated by cold-start
+        misses and untrained predictor tables; real evaluations (and the
+        paper's Multi2Sim runs) measure steady-state regions after a
+        fast-forward phase.  No clocks advance here.
+        """
+        for i, uop in enumerate(ops):
+            if i % FETCH_BLOCK_UOPS == 0:
+                self.caches.fetch(uop.pc if uop.pc else i * 4)
+            if uop.op in (OpClass.LOAD, OpClass.STORE):
+                self.caches.data_access(
+                    uop.address,
+                    is_store=uop.op is OpClass.STORE,
+                    noc_penalty=self.noc_penalty,
+                )
+            elif uop.op is OpClass.BRANCH:
+                self.predictor.predict_and_train(uop.pc, uop.taken)
+        # Warmup trains the predictor but must not pollute the reported
+        # accuracy statistics.
+        self.predictor.stats.branches = 0
+        self.predictor.stats.mispredictions = 0
+        self.predictor.stats.btb_misses = 0
+
+    def run(self, trace: Trace) -> SimResult:
+        """Simulate a trace; fast-forwards its warmup prefix, then times
+        the measured region.  Returns timing plus activity stats."""
+        cfg = self.config
+        if trace.resident_data or trace.resident_code:
+            self.caches.preload(trace.resident_data, trace.resident_code)
+        if trace.warmup_ops:
+            self.warmup(trace.ops[: trace.warmup_ops])
+        ops = trace.ops[trace.warmup_ops :]
+        stats = SimStats()
+        n = len(ops)
+        completion: List[int] = [0] * n
+        issue_at: List[int] = [0] * n
+        commit_at: List[int] = [0] * n
+
+        fetch_slots = _WidthLimiter(cfg.dispatch_width * 2)
+        rename_slots = _WidthLimiter(cfg.dispatch_width)
+        issue_slots = _PerCycleBandwidth(cfg.issue_width)
+        commit_slots = _WidthLimiter(cfg.commit_width)
+        pools = {klass: _FuPool(count) for klass, count in FU_POOLS.items()}
+
+        redirect_free = 0  # front end stalled until this cycle (mispredicts)
+        fetch_block_ready = 0  # current fetch block available at this cycle
+        last_fp_div_issue = -FP_DIV_ISSUE_INTERVAL
+        load_extra = cfg.load_to_use_cycles - 4  # 0 in 2D, -1 in 3D designs
+        refill = max(1, cfg.branch_mispredict_cycles - FRONT_END_DEPTH)
+
+        for i, uop in enumerate(ops):
+            # ---- fetch -----------------------------------------------------
+            if i % FETCH_BLOCK_UOPS == 0:
+                stats.ifetch_blocks += 1
+                access = self.caches.fetch(uop.pc if uop.pc else i * 4)
+                penalty = max(0, access.latency - cfg.il1_cycles)
+                fetch_block_ready = max(fetch_block_ready, redirect_free) + penalty
+            fetch = fetch_slots.allocate(max(fetch_block_ready, redirect_free))
+
+            # ---- rename/dispatch: ROB/IQ/LQ/SQ occupancy ---------------------
+            earliest = fetch + FRONT_END_DEPTH
+            if i >= cfg.rob_entries:
+                earliest = max(earliest, commit_at[i - cfg.rob_entries])
+            if i >= cfg.iq_entries:
+                earliest = max(earliest, issue_at[i - cfg.iq_entries])
+            if uop.op is OpClass.LOAD and stats.loads >= cfg.lq_entries:
+                earliest = max(earliest, commit_at[i - cfg.lq_entries])
+            if uop.op is OpClass.STORE and stats.stores >= cfg.sq_entries:
+                earliest = max(earliest, commit_at[i - cfg.sq_entries])
+            if uop.op is OpClass.COMPLEX:
+                stats.complex_decodes += 1
+                if cfg.hetero:
+                    # Complex decoder lives in the top layer: +1 cycle
+                    # (Section 4.1.2); rare, so the IPC cost is small.
+                    earliest += 1
+            rename = rename_slots.allocate(earliest)
+
+            # ---- register readiness ----------------------------------------
+            ready = rename + 1
+            for dist in (uop.src1, uop.src2):
+                if dist is not None and dist <= i:
+                    ready = max(ready, completion[i - dist])
+
+            # ---- issue -----------------------------------------------------
+            if uop.op is OpClass.FP_DIV:
+                ready = max(ready, last_fp_div_issue + FP_DIV_ISSUE_INTERVAL)
+            latency = OP_LATENCY[uop.op]
+            # Table 9: adds/multiplies are fully pipelined (issue every
+            # cycle); only the divide units block for their full latency.
+            busy = latency if uop.op in (OpClass.DIV, OpClass.FP_DIV) else 1
+            start = pools[uop.op].reserve(ready, busy)
+            issue = issue_slots.allocate(start)
+            issue_at[i] = issue
+            if uop.op is OpClass.FP_DIV:
+                last_fp_div_issue = issue
+
+            # ---- execute ---------------------------------------------------
+            done = issue + latency
+            if uop.op is OpClass.LOAD:
+                stats.loads += 1
+                access = self.caches.data_access(
+                    uop.address, is_store=False, noc_penalty=self.noc_penalty
+                )
+                level = access.level
+                stats.mem_level_counts[level] = (
+                    stats.mem_level_counts.get(level, 0) + 1
+                )
+                done = issue + access.latency + load_extra
+            elif uop.op is OpClass.STORE:
+                stats.stores += 1
+                self.caches.data_access(
+                    uop.address, is_store=True, noc_penalty=self.noc_penalty
+                )
+            elif uop.op is OpClass.BRANCH:
+                stats.branches += 1
+                correct = self.predictor.predict_and_train(uop.pc, uop.taken)
+                if not correct:
+                    stats.mispredictions += 1
+                    redirect_free = max(redirect_free, done + refill)
+            if uop.op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
+                stats.fp_ops += 1
+            completion[i] = done
+
+            # ---- commit ----------------------------------------------------
+            prev_commit = commit_at[i - 1] if i else 0
+            commit_at[i] = commit_slots.allocate(max(done + 1, prev_commit))
+            if uop.op is OpClass.SYNC:
+                stats.sync_commit_cycles.append(commit_at[i])
+
+        stats.uops = n
+        stats.cycles = commit_at[-1] if n else 0
+        return SimResult(
+            config_name=cfg.name,
+            trace_name=trace.name,
+            cycles=stats.cycles,
+            frequency=cfg.frequency,
+            stats=stats,
+        )
+
+
+def run_trace(config: CoreConfig, trace: Trace) -> SimResult:
+    """Convenience wrapper: simulate ``trace`` on a fresh core (the trace's
+    own warmup prefix is fast-forwarded automatically)."""
+    return OutOfOrderCore(config).run(trace)

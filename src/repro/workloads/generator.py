@@ -1,0 +1,236 @@
+"""Deterministic synthetic trace generation from application profiles.
+
+Given an :class:`~repro.workloads.profiles.AppProfile` and a seed, the
+generator emits a :class:`~repro.uarch.isa.Trace` whose instruction mix,
+dependence structure, address stream and branch stream follow the profile.
+Addresses and branches are *raw material*: the simulator's caches and
+predictor decide what hits and what mispredicts.
+
+Generation is fully deterministic per ``(profile, seed, thread)`` so that
+benchmark runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import List, Optional
+
+from repro.uarch.isa import MicroOp, OpClass, Trace
+from repro.workloads.profiles import AppProfile
+
+#: Base of the shared region used by parallel traces.
+SHARED_REGION_BASE = 1 << 40
+
+
+class TraceGenerator:
+    """Synthesises micro-op traces from a profile."""
+
+    def __init__(self, profile: AppProfile, seed: int = 1234,
+                 thread: int = 0) -> None:
+        self.profile = profile
+        # zlib.crc32 (not hash()) keeps traces identical across processes:
+        # Python salts str hashes per interpreter run.
+        name_key = zlib.crc32(profile.name.encode())
+        self._rng = random.Random((seed * 1000003) ^ (thread * 7919) ^ name_key)
+        self._thread = thread
+        # Per-thread private region offset keeps address streams disjoint.
+        self._private_base = (thread + 1) * (1 << 34)
+        self._stream_ptr = self._private_base
+        # Random accesses draw from a fixed pool of lines covering the
+        # working set: applications *reuse* their working set, they do not
+        # touch fresh memory forever.  Whether the pool fits in L1/L2/L3
+        # (and therefore where these accesses hit) is decided by the
+        # simulator's cache hierarchy, not here.
+        line = 64
+        pool_lines = max(4, min(profile.working_set_bytes // line, 1 << 20))
+        self._pool_lines = pool_lines
+        self._pool_stride = max(line, profile.working_set_bytes // pool_lines)
+        # Static branch sites with per-site bias.
+        self._branch_pcs: List[int] = []
+        self._branch_bias: List[float] = []
+        for b in range(profile.static_branches):
+            pc = (self._rng.randrange(profile.code_bytes) & ~3) + 4096
+            easy = self._rng.random() < profile.easy_branch_frac
+            bias = 0.97 if easy else profile.hard_branch_bias
+            # Half the biased branches prefer not-taken.
+            if self._rng.random() < 0.5:
+                bias = 1.0 - bias
+            self._branch_pcs.append(pc)
+            self._branch_bias.append(bias)
+        self._code_ptr = 4096
+
+    # -- address streams ------------------------------------------------------
+
+    def _data_address(self) -> int:
+        """Next data address: hot set, stream, shared, or random walk."""
+        profile = self.profile
+        roll = self._rng.random()
+        if profile.is_parallel and roll < profile.sharing_frac:
+            # Shared region: all threads touch the same lines.
+            return SHARED_REGION_BASE + self._rng.randrange(
+                max(64, profile.working_set_bytes // 8)
+            )
+        if roll < profile.sharing_frac + profile.hot_frac * (1 - profile.sharing_frac):
+            return self._private_base + self._rng.randrange(profile.hot_set_bytes)
+        if self._rng.random() < profile.stream_frac:
+            self._stream_ptr += profile.stride_bytes
+            span = self._private_base + profile.working_set_bytes
+            if self._stream_ptr >= span:
+                self._stream_ptr = self._private_base
+            return self._stream_ptr
+        return self._private_base + self._rng.randrange(self._pool_lines) * self._pool_stride
+
+    def _code_address(self) -> int:
+        """Next instruction-block address (mostly sequential)."""
+        if self._rng.random() < 0.1:
+            self._code_ptr = 4096 + (
+                self._rng.randrange(self.profile.code_bytes) & ~31
+            )
+        else:
+            self._code_ptr += 32
+            if self._code_ptr >= 4096 + self.profile.code_bytes:
+                self._code_ptr = 4096
+        return self._code_ptr
+
+    # -- dependencies -----------------------------------------------------------
+
+    def _dep(self, index: int) -> Optional[int]:
+        """Draw one producer distance (None = operand already ready)."""
+        profile = self.profile
+        if index == 0 or self._rng.random() > 0.55:
+            return None
+        if self._rng.random() < profile.serial_frac:
+            distance = 1 + int(self._rng.expovariate(1.0 / 2.0))
+        else:
+            distance = 1 + int(
+                self._rng.expovariate(1.0 / profile.dep_distance_mean)
+            )
+        return min(distance, index)
+
+    # -- op synthesis -----------------------------------------------------------
+
+    def _op_class(self) -> OpClass:
+        profile = self.profile
+        roll = self._rng.random()
+        thresholds = (
+            (profile.load_frac, OpClass.LOAD),
+            (profile.store_frac, OpClass.STORE),
+            (profile.branch_frac, OpClass.BRANCH),
+            (profile.fp_frac, None),  # refined below
+            (profile.mul_frac, OpClass.MUL),
+            (profile.div_frac, OpClass.DIV),
+            (profile.complex_frac, OpClass.COMPLEX),
+        )
+        acc = 0.0
+        for frac, klass in thresholds:
+            acc += frac
+            if roll < acc:
+                if klass is not None:
+                    return klass
+                fp_roll = self._rng.random()
+                if fp_roll < 0.55:
+                    return OpClass.FP_ADD
+                if fp_roll < 0.93:
+                    return OpClass.FP_MUL
+                return OpClass.FP_DIV
+        return OpClass.ALU
+
+    def generate(self, num_uops: int, warmup_frac: float = 0.5) -> Trace:
+        """Emit a trace of ``num_uops`` *measured* micro-ops plus a
+        fast-forward warmup prefix of ``warmup_frac * num_uops`` ops
+        (barrier markers included for parallel profiles)."""
+        if num_uops < 1:
+            raise ValueError("trace length must be positive")
+        warmup_ops = int(num_uops * warmup_frac)
+        num_uops = num_uops + warmup_ops
+        profile = self.profile
+        ops: List[MicroOp] = []
+        barrier_id = 0
+        next_barrier = profile.barrier_period or 0
+        # Imbalance: threads do slightly different amounts of work between
+        # barriers; thread 0 is the reference.
+        skew = 1.0 + profile.imbalance * (
+            self._rng.random() - 0.5
+        ) * 2.0 if profile.is_parallel and self._thread else 1.0
+
+        while len(ops) < num_uops:
+            index = len(ops)
+            if profile.is_parallel and next_barrier and index >= next_barrier:
+                ops.append(MicroOp(op=OpClass.SYNC, barrier=barrier_id))
+                barrier_id += 1
+                next_barrier = index + max(100, int(profile.barrier_period * skew))
+                continue
+            klass = self._op_class()
+            pc = self._code_address()
+            if klass in (OpClass.LOAD, OpClass.STORE):
+                ops.append(
+                    MicroOp(
+                        op=klass,
+                        src1=self._dep(index),
+                        address=self._data_address(),
+                        pc=pc,
+                    )
+                )
+            elif klass is OpClass.BRANCH:
+                site = self._rng.randrange(len(self._branch_pcs))
+                taken = self._rng.random() < self._branch_bias[site]
+                ops.append(
+                    MicroOp(
+                        op=klass,
+                        src1=self._dep(index),
+                        pc=self._branch_pcs[site],
+                        taken=taken,
+                    )
+                )
+            else:
+                ops.append(
+                    MicroOp(
+                        op=klass,
+                        src1=self._dep(index),
+                        src2=self._dep(index),
+                        pc=pc,
+                    )
+                )
+        return Trace(
+            name=profile.name,
+            ops=ops,
+            warmup_ops=warmup_ops,
+            resident_data=self._resident_data(),
+            resident_code=self._resident_code(),
+        )
+
+    def _resident_data(self) -> List[int]:
+        """Checkpoint-warm data lines: the hot set plus the working-set
+        pool (capped — for huge working sets only a steady-state LRU
+        residue would survive anyway)."""
+        profile = self.profile
+        lines = [
+            self._private_base + i * 64
+            for i in range(0, profile.hot_set_bytes, 64)
+        ]
+        cap = 40000
+        step = max(1, self._pool_lines // cap)
+        lines.extend(
+            self._private_base + i * self._pool_stride
+            for i in range(0, self._pool_lines, step)
+        )
+        if profile.is_parallel and profile.sharing_frac > 0:
+            shared_span = max(64, profile.working_set_bytes // 8)
+            shared_step = max(64, shared_span // 8192)
+            lines.extend(
+                SHARED_REGION_BASE + i for i in range(0, shared_span, shared_step)
+            )
+        return lines
+
+    def _resident_code(self) -> List[int]:
+        """Checkpoint-warm instruction lines covering the code footprint."""
+        return [4096 + i for i in range(0, self.profile.code_bytes, 32)]
+
+
+def generate_trace(profile: AppProfile, num_uops: int, seed: int = 1234,
+                   thread: int = 0, warmup_frac: float = 0.5) -> Trace:
+    """One-call convenience wrapper around :class:`TraceGenerator`."""
+    return TraceGenerator(profile, seed=seed, thread=thread).generate(
+        num_uops, warmup_frac=warmup_frac
+    )

@@ -1,0 +1,147 @@
+"""The 12 SPLASH2 + 3 PARSEC parallel application profiles of Figures 9/10.
+
+Parallel profiles add three knobs on top of the sequential fingerprint:
+``barrier_period`` (µops between global barriers), ``sharing_frac``
+(fraction of data accesses landing in the shared region, which drives
+coherence traffic on the ring) and ``imbalance`` (per-thread work spread,
+which turns barrier frequency into wait time).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.profiles import AppProfile
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def parallel_profiles() -> List[AppProfile]:
+    """All 15 parallel profiles in the paper's figure order."""
+    return [
+        AppProfile(
+            name="Barnes", suite="splash2",
+            load_frac=0.30, store_frac=0.10, branch_frac=0.10, fp_frac=0.18,
+            serial_frac=0.40, dep_distance_mean=7.0,
+            working_set_bytes=4 * MB, hot_frac=0.80, stream_frac=0.10,
+            static_branches=256, easy_branch_frac=0.75,
+            barrier_period=6000, sharing_frac=0.12, imbalance=0.08,
+        ),
+        AppProfile(
+            name="Blackscholes", suite="parsec",
+            load_frac=0.28, store_frac=0.08, branch_frac=0.05, fp_frac=0.32,
+            serial_frac=0.18, dep_distance_mean=14.0,
+            working_set_bytes=1 * MB, hot_frac=0.85, stream_frac=0.55,
+            static_branches=64, easy_branch_frac=0.95,
+            barrier_period=20000, sharing_frac=0.02, imbalance=0.03,
+        ),
+        AppProfile(
+            name="Canneal", suite="parsec",
+            load_frac=0.33, store_frac=0.10, branch_frac=0.13,
+            serial_frac=0.65, dep_distance_mean=3.5,
+            working_set_bytes=16 * MB, hot_frac=0.85, stream_frac=0.05,
+            static_branches=256, easy_branch_frac=0.65,
+            barrier_period=15000, sharing_frac=0.20, imbalance=0.05,
+        ),
+        AppProfile(
+            name="Cholesky", suite="splash2",
+            load_frac=0.30, store_frac=0.11, branch_frac=0.08, fp_frac=0.24,
+            serial_frac=0.30, dep_distance_mean=10.0,
+            working_set_bytes=4 * MB, hot_frac=0.80, stream_frac=0.35,
+            static_branches=128, easy_branch_frac=0.85,
+            barrier_period=8000, sharing_frac=0.10, imbalance=0.15,
+        ),
+        AppProfile(
+            name="Fft", suite="splash2",
+            load_frac=0.31, store_frac=0.13, branch_frac=0.05, fp_frac=0.26,
+            serial_frac=0.22, dep_distance_mean=12.0,
+            working_set_bytes=8 * MB, hot_frac=0.80, stream_frac=0.70,
+            stride_bytes=8, static_branches=64, easy_branch_frac=0.94,
+            barrier_period=10000, sharing_frac=0.15, imbalance=0.04,
+        ),
+        AppProfile(
+            name="Fluidanimate", suite="parsec",
+            load_frac=0.31, store_frac=0.12, branch_frac=0.09, fp_frac=0.24,
+            serial_frac=0.35, dep_distance_mean=8.0,
+            working_set_bytes=8 * MB, hot_frac=0.78, stream_frac=0.25,
+            static_branches=192, easy_branch_frac=0.82,
+            barrier_period=7000, sharing_frac=0.10, imbalance=0.08,
+        ),
+        AppProfile(
+            name="Fmm", suite="splash2",
+            load_frac=0.29, store_frac=0.10, branch_frac=0.09, fp_frac=0.22,
+            serial_frac=0.35, dep_distance_mean=9.0,
+            working_set_bytes=4 * MB, hot_frac=0.80, stream_frac=0.15,
+            static_branches=192, easy_branch_frac=0.80,
+            barrier_period=9000, sharing_frac=0.08, imbalance=0.10,
+        ),
+        AppProfile(
+            name="Lu", suite="splash2",
+            load_frac=0.30, store_frac=0.11, branch_frac=0.06, fp_frac=0.26,
+            serial_frac=0.25, dep_distance_mean=11.0,
+            working_set_bytes=2 * MB, hot_frac=0.85, stream_frac=0.45,
+            static_branches=96, easy_branch_frac=0.92,
+            barrier_period=8000, sharing_frac=0.08, imbalance=0.12,
+        ),
+        AppProfile(
+            name="Ocean", suite="splash2",
+            load_frac=0.33, store_frac=0.13, branch_frac=0.05, fp_frac=0.25,
+            serial_frac=0.25, dep_distance_mean=11.0,
+            working_set_bytes=16 * MB, hot_frac=0.80, stream_frac=0.70,
+            stride_bytes=8, static_branches=96, easy_branch_frac=0.93,
+            barrier_period=5000, sharing_frac=0.18, imbalance=0.06,
+        ),
+        AppProfile(
+            name="Radiosity", suite="splash2",
+            load_frac=0.29, store_frac=0.10, branch_frac=0.12, fp_frac=0.18,
+            serial_frac=0.45, dep_distance_mean=6.0,
+            working_set_bytes=4 * MB, hot_frac=0.80, stream_frac=0.10,
+            static_branches=320, easy_branch_frac=0.72,
+            barrier_period=12000, sharing_frac=0.12, imbalance=0.12,
+        ),
+        AppProfile(
+            name="Radix", suite="splash2",
+            load_frac=0.32, store_frac=0.15, branch_frac=0.06,
+            serial_frac=0.25, dep_distance_mean=10.0,
+            working_set_bytes=16 * MB, hot_frac=0.78, stream_frac=0.75,
+            stride_bytes=8, static_branches=48, easy_branch_frac=0.94,
+            barrier_period=6000, sharing_frac=0.15, imbalance=0.05,
+        ),
+        AppProfile(
+            name="Raytrace", suite="splash2",
+            load_frac=0.30, store_frac=0.08, branch_frac=0.13, fp_frac=0.20,
+            serial_frac=0.45, dep_distance_mean=6.0,
+            working_set_bytes=8 * MB, hot_frac=0.80, stream_frac=0.05,
+            static_branches=320, easy_branch_frac=0.72,
+            barrier_period=14000, sharing_frac=0.08, imbalance=0.15,
+        ),
+        AppProfile(
+            name="Streamcluster", suite="parsec",
+            load_frac=0.33, store_frac=0.08, branch_frac=0.07, fp_frac=0.24,
+            serial_frac=0.25, dep_distance_mean=11.0,
+            working_set_bytes=8 * MB, hot_frac=0.80, stream_frac=0.80,
+            stride_bytes=8, static_branches=64, easy_branch_frac=0.93,
+            barrier_period=5000, sharing_frac=0.14, imbalance=0.04,
+        ),
+        AppProfile(
+            name="Water-Nsquared", suite="splash2",
+            load_frac=0.29, store_frac=0.09, branch_frac=0.07, fp_frac=0.28,
+            serial_frac=0.25, dep_distance_mean=12.0,
+            working_set_bytes=1 * MB, hot_frac=0.85, stream_frac=0.25,
+            static_branches=96, easy_branch_frac=0.90,
+            barrier_period=9000, sharing_frac=0.06, imbalance=0.06,
+        ),
+        AppProfile(
+            name="Water-Spatial", suite="splash2",
+            load_frac=0.29, store_frac=0.09, branch_frac=0.07, fp_frac=0.28,
+            serial_frac=0.25, dep_distance_mean=12.0,
+            working_set_bytes=1 * MB, hot_frac=0.85, stream_frac=0.30,
+            static_branches=96, easy_branch_frac=0.90,
+            barrier_period=11000, sharing_frac=0.05, imbalance=0.05,
+        ),
+    ]
+
+
+def parallel_by_name() -> Dict[str, AppProfile]:
+    return {profile.name: profile for profile in parallel_profiles()}

@@ -1,0 +1,173 @@
+"""The 21 SPEC2006 application profiles of Figure 6/7/8.
+
+Per-application parameters encode well-known characterisations of the
+SPEC2006 suite (working sets, branch behaviour, FP intensity).  The paper's
+figures show exactly these 21, in this order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.profiles import AppProfile
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def spec_profiles() -> List[AppProfile]:
+    """All 21 SPEC2006 profiles in the paper's figure order."""
+    return [
+        AppProfile(
+            name="Astar", suite="spec2006int",
+            load_frac=0.28, store_frac=0.06, branch_frac=0.16,
+            serial_frac=0.55, dep_distance_mean=4.0,
+            working_set_bytes=24 * MB, hot_frac=0.91, stream_frac=0.05,
+            static_branches=384, easy_branch_frac=0.55, hard_branch_bias=0.62,
+        ),
+        AppProfile(
+            name="Bzip2", suite="spec2006int",
+            load_frac=0.26, store_frac=0.11, branch_frac=0.13,
+            serial_frac=0.40, dep_distance_mean=7.0,
+            working_set_bytes=6 * MB, hot_frac=0.92, stream_frac=0.25,
+            static_branches=256, easy_branch_frac=0.68, hard_branch_bias=0.68,
+        ),
+        AppProfile(
+            name="Calculix", suite="spec2006fp",
+            load_frac=0.27, store_frac=0.09, branch_frac=0.06, fp_frac=0.24,
+            serial_frac=0.25, dep_distance_mean=12.0,
+            working_set_bytes=2 * MB, hot_frac=0.78, stream_frac=0.35,
+            static_branches=128, easy_branch_frac=0.92,
+        ),
+        AppProfile(
+            name="Dealii", suite="spec2006fp",
+            load_frac=0.30, store_frac=0.09, branch_frac=0.09, fp_frac=0.20,
+            serial_frac=0.30, dep_distance_mean=10.0,
+            working_set_bytes=8 * MB, hot_frac=0.92, stream_frac=0.25,
+            static_branches=256, easy_branch_frac=0.85,
+        ),
+        AppProfile(
+            name="Gamess", suite="spec2006fp",
+            load_frac=0.28, store_frac=0.08, branch_frac=0.07, fp_frac=0.28,
+            serial_frac=0.20, dep_distance_mean=14.0,
+            working_set_bytes=512 * KB, hot_frac=0.88, stream_frac=0.30,
+            static_branches=96, easy_branch_frac=0.94,
+        ),
+        AppProfile(
+            name="Gcc", suite="spec2006int",
+            load_frac=0.27, store_frac=0.12, branch_frac=0.16,
+            serial_frac=0.45, dep_distance_mean=6.0, complex_frac=0.03,
+            working_set_bytes=12 * MB, hot_frac=0.90, stream_frac=0.10,
+            static_branches=512, easy_branch_frac=0.70, code_bytes=512 * KB,
+        ),
+        AppProfile(
+            name="Gems", suite="spec2006fp",
+            load_frac=0.33, store_frac=0.11, branch_frac=0.04, fp_frac=0.28,
+            serial_frac=0.22, dep_distance_mean=12.0,
+            working_set_bytes=40 * MB, hot_frac=0.84, stream_frac=0.70,
+            stride_bytes=8, static_branches=64, easy_branch_frac=0.95,
+        ),
+        AppProfile(
+            name="Gobmk", suite="spec2006int",
+            load_frac=0.26, store_frac=0.10, branch_frac=0.17,
+            serial_frac=0.45, dep_distance_mean=6.0, complex_frac=0.02,
+            working_set_bytes=2 * MB, hot_frac=0.70, stream_frac=0.05,
+            static_branches=512, easy_branch_frac=0.50, hard_branch_bias=0.60,
+            code_bytes=256 * KB,
+        ),
+        AppProfile(
+            name="Gromacs", suite="spec2006fp",
+            load_frac=0.28, store_frac=0.09, branch_frac=0.05, fp_frac=0.30,
+            serial_frac=0.25, dep_distance_mean=12.0,
+            working_set_bytes=1 * MB, hot_frac=0.82, stream_frac=0.35,
+            static_branches=96, easy_branch_frac=0.92,
+        ),
+        AppProfile(
+            name="H264Ref", suite="spec2006int",
+            load_frac=0.30, store_frac=0.12, branch_frac=0.08,
+            serial_frac=0.30, dep_distance_mean=9.0, mul_frac=0.04,
+            working_set_bytes=1 * MB, hot_frac=0.80, stream_frac=0.45,
+            static_branches=192, easy_branch_frac=0.85,
+        ),
+        AppProfile(
+            name="Hmmer", suite="spec2006int",
+            load_frac=0.30, store_frac=0.12, branch_frac=0.08,
+            serial_frac=0.18, dep_distance_mean=16.0,
+            working_set_bytes=256 * KB, hot_frac=0.92, stream_frac=0.40,
+            static_branches=64, easy_branch_frac=0.93,
+        ),
+        AppProfile(
+            name="Lbm", suite="spec2006fp",
+            load_frac=0.32, store_frac=0.16, branch_frac=0.02, fp_frac=0.30,
+            serial_frac=0.20, dep_distance_mean=14.0,
+            working_set_bytes=64 * MB, hot_frac=0.68, stream_frac=0.85,
+            stride_bytes=16, static_branches=32, easy_branch_frac=0.97,
+        ),
+        AppProfile(
+            name="Libquantum", suite="spec2006int",
+            load_frac=0.30, store_frac=0.12, branch_frac=0.14,
+            serial_frac=0.25, dep_distance_mean=10.0,
+            working_set_bytes=32 * MB, hot_frac=0.76, stream_frac=0.90,
+            stride_bytes=16, static_branches=32, easy_branch_frac=0.96,
+        ),
+        AppProfile(
+            name="Mcf", suite="spec2006int",
+            load_frac=0.35, store_frac=0.09, branch_frac=0.17,
+            serial_frac=0.70, dep_distance_mean=3.0,
+            working_set_bytes=48 * MB, hot_frac=0.91, stream_frac=0.05,
+            static_branches=256, easy_branch_frac=0.60, hard_branch_bias=0.64,
+        ),
+        AppProfile(
+            name="Milc", suite="spec2006fp",
+            load_frac=0.33, store_frac=0.13, branch_frac=0.03, fp_frac=0.28,
+            serial_frac=0.25, dep_distance_mean=12.0,
+            working_set_bytes=32 * MB, hot_frac=0.80, stream_frac=0.65,
+            stride_bytes=8, static_branches=64, easy_branch_frac=0.95,
+        ),
+        AppProfile(
+            name="Namd", suite="spec2006fp",
+            load_frac=0.29, store_frac=0.08, branch_frac=0.05, fp_frac=0.32,
+            serial_frac=0.20, dep_distance_mean=14.0,
+            working_set_bytes=1 * MB, hot_frac=0.85, stream_frac=0.30,
+            static_branches=96, easy_branch_frac=0.93,
+        ),
+        AppProfile(
+            name="Omnetpp", suite="spec2006int",
+            load_frac=0.31, store_frac=0.13, branch_frac=0.16,
+            serial_frac=0.60, dep_distance_mean=4.0, complex_frac=0.02,
+            working_set_bytes=24 * MB, hot_frac=0.89, stream_frac=0.05,
+            static_branches=384, easy_branch_frac=0.65, code_bytes=256 * KB,
+        ),
+        AppProfile(
+            name="Povray", suite="spec2006fp",
+            load_frac=0.28, store_frac=0.10, branch_frac=0.10, fp_frac=0.26,
+            serial_frac=0.25, dep_distance_mean=11.0,
+            working_set_bytes=256 * KB, hot_frac=0.90, stream_frac=0.15,
+            static_branches=192, easy_branch_frac=0.85,
+        ),
+        AppProfile(
+            name="Sjeng", suite="spec2006int",
+            load_frac=0.24, store_frac=0.08, branch_frac=0.17,
+            serial_frac=0.45, dep_distance_mean=6.0,
+            working_set_bytes=1536 * KB, hot_frac=0.70, stream_frac=0.05,
+            static_branches=512, easy_branch_frac=0.52, hard_branch_bias=0.61,
+        ),
+        AppProfile(
+            name="Soplex", suite="spec2006fp",
+            load_frac=0.32, store_frac=0.08, branch_frac=0.12, fp_frac=0.18,
+            serial_frac=0.40, dep_distance_mean=7.0,
+            working_set_bytes=24 * MB, hot_frac=0.89, stream_frac=0.30,
+            static_branches=256, easy_branch_frac=0.75,
+        ),
+        AppProfile(
+            name="Xalancbmk", suite="spec2006int",
+            load_frac=0.30, store_frac=0.10, branch_frac=0.17,
+            serial_frac=0.50, dep_distance_mean=5.0, complex_frac=0.02,
+            working_set_bytes=16 * MB, hot_frac=0.89, stream_frac=0.10,
+            static_branches=512, easy_branch_frac=0.70, code_bytes=256 * KB,
+        ),
+    ]
+
+
+def spec_by_name() -> Dict[str, AppProfile]:
+    return {profile.name: profile for profile in spec_profiles()}

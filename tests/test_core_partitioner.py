@@ -1,0 +1,73 @@
+"""Tests for the whole-core partitioner (the top-level design API)."""
+
+import pytest
+
+from repro.core.partitioner import (
+    STAGE_STRUCTURES,
+    CorePartition,
+    partition_core,
+)
+from repro.tech.process import stack_m3d_hetero, stack_m3d_iso
+
+
+@pytest.fixture(scope="module")
+def het_design():
+    return partition_core()
+
+
+@pytest.fixture(scope="module")
+def iso_design():
+    return partition_core(stack_m3d_iso(), asymmetric=False)
+
+
+class TestCorePartition:
+    def test_every_stage_reported(self, het_design):
+        assert {s.stage for s in het_design.stages} == set(STAGE_STRUCTURES)
+
+    def test_every_structure_assigned_to_a_stage(self, het_design):
+        assigned = {
+            plan.geometry.name
+            for stage in het_design.stages
+            for plan in stage.structures
+        }
+        assert assigned == {plan.geometry.name for plan in het_design.plans}
+
+    def test_all_stages_speed_up(self, het_design):
+        for stage in het_design.stages:
+            assert stage.delay_ratio < 1.0, stage.stage
+            assert stage.latency_reduction_pct > 0.0, stage.stage
+
+    def test_frequency_set_by_limiting_stage(self, het_design):
+        limiter = het_design.limiting_stage
+        expected = 3.3e9 / limiter.delay_ratio
+        assert het_design.frequency == pytest.approx(expected, rel=1e-6)
+
+    def test_frequency_near_table11(self, het_design):
+        assert 3.5 < het_design.ghz < 4.0  # M3D-Het: paper 3.79
+
+    def test_iso_at_least_as_fast(self, het_design, iso_design):
+        assert iso_design.frequency >= het_design.frequency * 0.999
+
+    def test_footprint_reduction_substantial(self, het_design):
+        # Table 8's footprint column averages ~35-45%.
+        assert 25.0 < het_design.footprint_reduction_pct < 60.0
+
+    def test_logic_stages_attached(self, het_design):
+        by_name = {s.stage: s for s in het_design.stages}
+        assert by_name["decode"].logic is not None
+        assert by_name["issue"].logic is not None
+        assert by_name["lsu"].logic is not None
+
+    def test_summary_renders(self, het_design):
+        text = het_design.summary()
+        assert "GHz" in text
+        for stage in STAGE_STRUCTURES:
+            assert stage in text
+
+    def test_regread_is_fastest_stage(self, het_design):
+        # The RF enjoys the deepest cut (PP on 18 ports), so the register
+        # read stage improves the most.
+        by_name = {s.stage: s for s in het_design.stages}
+        assert by_name["regread"].delay_ratio == min(
+            s.delay_ratio for s in het_design.stages
+        )

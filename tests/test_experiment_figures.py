@@ -1,0 +1,56 @@
+"""Light tests for the figure harness (tiny trace sizes for speed)."""
+
+import pytest
+
+from repro.experiments.figures import figure6, figure7, figure9
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure6(uops=1500)
+
+
+class TestFigure6Harness:
+    def test_all_apps_present(self, fig6):
+        assert len(fig6.apps) == 21
+        assert fig6.apps[0] == "Astar"
+
+    def test_all_configs_present(self, fig6):
+        assert set(fig6.values) == {
+            "Base", "TSV3D", "M3D-Iso", "M3D-HetNaive", "M3D-Het", "M3D-HetAgg",
+        }
+
+    def test_base_is_unity(self, fig6):
+        assert all(v == pytest.approx(1.0) for v in fig6.values["Base"])
+
+    def test_3d_designs_speed_up(self, fig6):
+        for config in ("M3D-Iso", "M3D-Het", "M3D-HetAgg"):
+            assert fig6.average(config) > 1.0, config
+
+    def test_averages_consistent(self, fig6):
+        averages = fig6.averages()
+        for config, series in fig6.values.items():
+            assert averages[config] == pytest.approx(sum(series) / len(series))
+
+    def test_print_renders(self, fig6, capsys):
+        fig6.print()
+        out = capsys.readouterr().out
+        assert "Average" in out
+        assert "Astar" in out
+
+
+class TestFigure7Harness:
+    def test_energy_normalised_to_base(self):
+        series = figure7(uops=1500)
+        assert all(v == pytest.approx(1.0) for v in series.values["Base"])
+        assert series.average("M3D-Het") < 1.0
+
+
+class TestFigure9Harness:
+    def test_multicore_series_shape(self):
+        series = figure9(total_uops=6000)
+        assert len(series.apps) == 15
+        assert set(series.values) == {
+            "Base", "TSV3D", "M3D-Het", "M3D-Het-W", "M3D-Het-2X",
+        }
+        assert series.average("M3D-Het-2X") > 1.3

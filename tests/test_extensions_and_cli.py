@@ -1,0 +1,75 @@
+"""Tests for the extension studies and the CLI."""
+
+import pytest
+
+from repro.cli import _parse_geometry, main
+from repro.experiments.extensions import (
+    design_alternatives_study,
+    lp_top_energy_study,
+    tungsten_interconnect_study,
+)
+
+
+class TestExtensions:
+    def test_lp_top_saves_extra_points(self):
+        # Section 7.1.2: a further ~9 energy points over M3D-Het.
+        result = lp_top_energy_study(uops=3000, apps=4)
+        assert result.average_extra_points > 3.0
+        assert all(lp < het for lp, het in
+                   zip(result.lp_top_energy, result.het_energy))
+
+    def test_design_alternatives_ordering(self):
+        study = design_alternatives_study(total_uops=12000, apps=3)
+        # Section 7.2: frequency beats width; the 2X design beats both.
+        assert study["M3D-Het-2X"]["speedup"] > study["M3D-Het"]["speedup"]
+        assert study["M3D-Het-W"]["speedup"] <= study["M3D-Het"]["speedup"] + 0.05
+        # All M3D designs save energy.
+        for name in ("M3D-Het", "M3D-Het-W", "M3D-Het-2X"):
+            assert study[name]["energy"] < 1.0, name
+
+    def test_tungsten_three_times_slower_wires(self):
+        study = tungsten_interconnect_study()
+        assert study["resistance_factor"] == pytest.approx(3.0)
+        assert study["slowdown"] > 1.3  # driver term dilutes the 3x wire R
+        assert study["tungsten_ps"] > study["copper_ps"]
+
+
+class TestCli:
+    def test_parse_known_structure(self):
+        geometry = _parse_geometry("RF")
+        assert (geometry.words, geometry.bits) == (160, 64)
+
+    def test_parse_custom_geometry(self):
+        geometry = _parse_geometry("256x32x6")
+        assert geometry.words == 256
+        assert geometry.bits == 32
+        assert geometry.ports == 6
+
+    def test_parse_default_single_port(self):
+        assert _parse_geometry("1024x8").ports == 1
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            _parse_geometry("not-a-structure")
+
+    def test_cli_partition_runs(self, capsys):
+        main(["partition", "RAT"])
+        output = capsys.readouterr().out
+        assert "RAT" in output
+        assert "M3D-Iso" in output
+        assert "TSV3D" in output
+
+    def test_cli_frequencies_runs(self, capsys):
+        main(["frequencies"])
+        output = capsys.readouterr().out
+        assert "M3D-Het" in output
+        assert "3.3" in output
+
+    def test_cli_table_runs(self, capsys):
+        main(["table", "2"])
+        output = capsys.readouterr().out
+        assert "MIV" in output
+
+    def test_cli_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            main(["table", "99"])

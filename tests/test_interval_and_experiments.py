@@ -1,0 +1,113 @@
+"""Tests for the analytical interval model and the experiments harness."""
+
+import pytest
+
+from repro.core.configs import base_config, m3d_het_config, m3d_iso_config
+from repro.experiments.tables import (
+    figure2,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.uarch.interval import (
+    WorkloadStats,
+    predict_cpi,
+    predict_runtime,
+    predict_speedup,
+)
+
+
+class TestIntervalModel:
+    def _compute_workload(self):
+        return WorkloadStats(
+            mispredicts_per_kilo=3.0,
+            l2_misses_per_kilo=2.0,
+            dram_misses_per_kilo=0.2,
+        )
+
+    def _memory_workload(self):
+        return WorkloadStats(
+            mispredicts_per_kilo=5.0,
+            l2_misses_per_kilo=20.0,
+            dram_misses_per_kilo=15.0,
+        )
+
+    def test_cpi_positive(self):
+        assert predict_cpi(base_config(), self._compute_workload()) > 0
+
+    def test_memory_bound_has_higher_cpi(self):
+        cfg = base_config()
+        assert predict_cpi(cfg, self._memory_workload()) > predict_cpi(
+            cfg, self._compute_workload()
+        )
+
+    def test_m3d_speedup_direction_matches_cycle_model(self):
+        # The interval model must agree with the simulator's *direction*:
+        # M3D-Iso is faster than Base on every workload.
+        for workload in (self._compute_workload(), self._memory_workload()):
+            assert predict_speedup(m3d_iso_config(), base_config(), workload) > 1.0
+
+    def test_compute_apps_gain_more(self):
+        compute = predict_speedup(
+            m3d_iso_config(), base_config(), self._compute_workload()
+        )
+        memory = predict_speedup(
+            m3d_iso_config(), base_config(), self._memory_workload()
+        )
+        assert compute > memory
+
+    def test_het_between_base_and_iso(self):
+        workload = self._compute_workload()
+        het = predict_speedup(m3d_het_config(), base_config(), workload)
+        iso = predict_speedup(m3d_iso_config(), base_config(), workload)
+        assert 1.0 < het <= iso + 1e-9
+
+    def test_runtime_scales_with_instructions(self):
+        workload = self._compute_workload()
+        assert predict_runtime(base_config(), workload, 2000) == pytest.approx(
+            2 * predict_runtime(base_config(), workload, 1000)
+        )
+
+    def test_invalid_workload(self):
+        with pytest.raises(ValueError):
+            WorkloadStats(-1.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            WorkloadStats(1.0, 1.0, 1.0, base_ipc_limit=0.0)
+
+
+class TestExperimentTables:
+    def test_table1_rows(self):
+        rows = {row.key: row for row in table1()}
+        assert rows["MIV"].model["adder32"] < 0.001
+        assert rows["TSV(1.3um)"].model["adder32"] == pytest.approx(
+            0.08, rel=0.2
+        )
+
+    def test_table2_rows_match_paper_exactly(self):
+        for row in table2():
+            for key in ("diameter_um", "cap_fF"):
+                assert row.model[key] == pytest.approx(
+                    row.paper[key], rel=0.01
+                ), (row.key, key)
+
+    def test_figure2_row(self):
+        row = figure2()
+        assert row.model["MIV"] == pytest.approx(0.07, rel=0.1)
+        assert row.model["TSV(1.3um)"] == pytest.approx(37.0, rel=0.15)
+
+    def test_table3_bp_gains_positive_for_m3d(self):
+        for row in table3():
+            if "M3D" in row.key:
+                assert row.model["latency"] > 0, row.key
+
+    def test_table4_wp_energy_strong(self):
+        rows = {row.key: row for row in table4()}
+        # WP's energy savings on the BPT are large in both model and paper.
+        assert rows["BPT/M3D"].model["energy"] > 15.0
+
+    def test_table5_tsv_pp_catastrophic(self):
+        rows = {row.key: row for row in table5()}
+        assert rows["RF/TSV3D"].model["footprint"] < -50.0
+        assert rows["RF/M3D"].model["latency"] > 25.0

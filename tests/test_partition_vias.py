@@ -1,0 +1,78 @@
+"""Tests for via budgets and physical feasibility."""
+
+import pytest
+
+from repro.core.structures import branch_prediction_table, register_file
+from repro.partition.vias import (
+    budget,
+    fits_in_cell,
+    fits_in_row,
+    miv_density_per_mm2,
+    via_count,
+)
+from repro.tech.via import make_miv, make_tsv_aggressive
+
+
+class TestViaCounts:
+    def test_bp_counts_words(self):
+        g = register_file()
+        assert via_count(g, "BP") == g.words + g.bits // 2
+
+    def test_wp_counts_bits(self):
+        g = register_file()
+        assert via_count(g, "WP") == g.bits
+
+    def test_pp_counts_two_per_cell(self):
+        g = register_file()
+        assert via_count(g, "PP") == 2 * g.words * g.bits
+
+    def test_asym_aliases(self):
+        g = register_file()
+        assert via_count(g, "AsymPP") == via_count(g, "PP")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            via_count(register_file(), "XX")
+
+
+class TestFeasibility:
+    def test_miv_fits_in_multiported_cell(self):
+        cell = register_file().cell()
+        assert fits_in_cell(make_miv(), cell)
+
+    def test_tsv_does_not_fit_in_cell(self):
+        cell = register_file().cell()
+        assert not fits_in_cell(make_tsv_aggressive(), cell)
+
+    def test_tsv_does_not_fit_in_small_row(self):
+        g = branch_prediction_table()
+        assert not fits_in_row(make_tsv_aggressive(), g.cell(), g.bits)
+
+    def test_miv_fits_everywhere(self):
+        for g in (register_file(), branch_prediction_table()):
+            assert fits_in_row(make_miv(), g.cell(), g.bits)
+
+
+class TestBudget:
+    def test_pp_budget_fits_only_with_miv(self):
+        g = register_file()
+        assert budget(g, "PP", make_miv()).fits
+        assert not budget(g, "PP", make_tsv_aggressive()).fits
+
+    def test_budget_area_scales_with_count(self):
+        g = register_file()
+        bp = budget(g, "BP", make_miv())
+        pp = budget(g, "PP", make_miv())
+        assert pp.count > bp.count
+        assert pp.area > bp.area
+
+    def test_budget_accounts_banks(self):
+        g = branch_prediction_table()
+        single = budget(g, "WP", make_miv())
+        assert single.count == g.bits * g.banks
+
+    def test_miv_density_enormous(self):
+        # MIV density is orders of magnitude above TSV density.
+        assert miv_density_per_mm2(make_miv()) > 1000 * miv_density_per_mm2(
+            make_tsv_aggressive()
+        )

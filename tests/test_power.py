@@ -1,0 +1,151 @@
+"""Tests for the power/energy models and DVFS derivations."""
+
+import pytest
+
+from repro.core.configs import (
+    base_config,
+    m3d_het_2x_config,
+    m3d_het_config,
+    m3d_iso_config,
+    tsv3d_config,
+)
+from repro.power.clocktree import ClockTree, clock_energy_ratio
+from repro.power.core_power import CorePowerModel, power_model_for
+from repro.power.dvfs import (
+    OperatingPoint,
+    iso_power_core_count,
+    min_voltage_at_base_frequency,
+    power_budget_check,
+)
+from repro.power.energy import (
+    factors_for_stack,
+    leakage_temperature_scale,
+    vdd_dynamic_scale,
+    vdd_leakage_scale,
+)
+from repro.uarch.ooo import run_trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec import spec_by_name
+
+
+@pytest.fixture(scope="module")
+def gamess_runs():
+    trace = generate_trace(spec_by_name()["Gamess"], 6000)
+    configs = [base_config(), tsv3d_config(), m3d_het_config()]
+    return {cfg.name: run_trace(cfg, trace) for cfg in configs}
+
+
+class TestStackFactors:
+    def test_2d_identity(self):
+        f = factors_for_stack("2D")
+        assert f.arrays == f.logic == f.wires == f.clock == 1.0
+
+    def test_m3d_saves_everywhere(self):
+        f = factors_for_stack("M3D")
+        assert f.arrays < 1.0
+        assert f.logic < 1.0
+        assert f.wires < 1.0
+        assert f.clock < 1.0
+
+    def test_tsv_saves_less_than_m3d(self):
+        m3d = factors_for_stack("M3D")
+        tsv = factors_for_stack("TSV3D")
+        assert tsv.arrays > m3d.arrays
+        assert tsv.clock > m3d.clock
+
+    def test_lp_top_extends_m3d(self):
+        lp = factors_for_stack("M3D-LPtop")
+        m3d = factors_for_stack("M3D")
+        assert lp.arrays < m3d.arrays
+        assert lp.leakage_power < m3d.leakage_power
+
+    def test_unknown_stack(self):
+        with pytest.raises(ValueError):
+            factors_for_stack("PCB")
+
+
+class TestVddScaling:
+    def test_dynamic_quadratic(self):
+        assert vdd_dynamic_scale(0.4, nominal=0.8) == pytest.approx(0.25)
+
+    def test_leakage_cubic(self):
+        assert vdd_leakage_scale(0.4, nominal=0.8) == pytest.approx(0.125)
+
+    def test_leakage_temperature_doubles(self):
+        assert leakage_temperature_scale(103.0) == pytest.approx(2.0, rel=0.01)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            vdd_dynamic_scale(0.0)
+
+
+class TestCorePower:
+    def test_base_power_near_6_4w(self, gamess_runs):
+        report = power_model_for(base_config()).evaluate(gamess_runs["Base"])
+        assert 3.0 < report.average_power < 11.0
+
+    def test_m3d_energy_below_base(self, gamess_runs):
+        base = power_model_for(base_config()).evaluate(gamess_runs["Base"])
+        m3d = power_model_for(m3d_het_config()).evaluate(gamess_runs["M3D-Het"])
+        ratio = m3d.normalized_to(base)
+        assert 0.5 < ratio < 0.85
+
+    def test_tsv_between_m3d_and_base(self, gamess_runs):
+        base = power_model_for(base_config()).evaluate(gamess_runs["Base"])
+        tsv = power_model_for(tsv3d_config()).evaluate(gamess_runs["TSV3D"])
+        m3d = power_model_for(m3d_het_config()).evaluate(gamess_runs["M3D-Het"])
+        assert m3d.total < tsv.total < base.total
+
+    def test_components_positive(self, gamess_runs):
+        report = power_model_for(base_config()).evaluate(gamess_runs["Base"])
+        for value in (report.arrays, report.logic, report.wires,
+                      report.clock, report.leakage, report.uncore):
+            assert value > 0
+
+    def test_total_is_sum(self, gamess_runs):
+        report = power_model_for(base_config()).evaluate(gamess_runs["Base"])
+        assert report.total == pytest.approx(report.dynamic + report.leakage)
+
+    def test_lower_vdd_lowers_energy(self, gamess_runs):
+        nominal = CorePowerModel(m3d_het_config()).evaluate(
+            gamess_runs["M3D-Het"]
+        )
+        low_v = CorePowerModel(m3d_het_2x_config()).evaluate(
+            gamess_runs["M3D-Het"]
+        )
+        assert low_v.dynamic < nominal.dynamic
+
+
+class TestDvfs:
+    def test_min_voltage_is_750mv(self):
+        assert min_voltage_at_base_frequency() == pytest.approx(0.75)
+
+    def test_iso_power_count_is_eight(self):
+        # Section 6.1: "in between 7 and 8. We pick 8."
+        assert iso_power_core_count() == 8
+
+    def test_power_budget_tolerance(self):
+        # 8 cores at ~0.565 power each ~ 4.5 vs budget 4: within ~13%.
+        assert power_budget_check(8, 0.56)
+        assert not power_budget_check(8, 0.80)
+
+    def test_operating_point_scales(self):
+        nominal = OperatingPoint(3.3e9, 0.8)
+        low = OperatingPoint(3.3e9, 0.75)
+        assert low.dynamic_power_scale < nominal.dynamic_power_scale
+        assert low.leakage_power_scale < nominal.leakage_power_scale
+
+
+class TestClockTree:
+    def test_folding_halves_energy_roughly(self):
+        tree = ClockTree(footprint_m2=5e-6)
+        folded = tree.folded(0.5)
+        assert folded.energy_per_cycle < tree.energy_per_cycle
+
+    def test_combined_ratio_below_half(self):
+        # Footprint halving x 25% switching reduction.
+        assert clock_energy_ratio() < 0.65
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ValueError):
+            ClockTree(footprint_m2=0.0)

@@ -1,0 +1,270 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sram.array import ArrayGeometry, analyze_plane, solve_2d
+from repro.sram.bitcell import Bitcell
+from repro.tech.transistor import Transistor, VtClass
+from repro.tech.wire import LOCAL_WIRE, folded_length, folded_length_3d
+from repro.uarch.cache import SetAssociativeCache
+from repro.uarch.noc import RingNoc
+from repro.uarch.ooo import _FuPool, _PerCycleBandwidth, _WidthLimiter
+
+
+# ---------------------------------------------------------------------------
+# Technology invariants
+# ---------------------------------------------------------------------------
+
+
+@given(width=st.floats(min_value=0.25, max_value=64.0))
+def test_transistor_rc_product_width_invariant(width):
+    """R*C of a device is width-invariant (R ~ 1/w, C ~ w)."""
+    unit = Transistor(width=1.0)
+    sized = Transistor(width=width)
+    assert math.isclose(
+        sized.drive_resistance * sized.gate_capacitance,
+        unit.drive_resistance * unit.gate_capacitance,
+        rel_tol=1e-9,
+    )
+
+
+@given(
+    width=st.floats(min_value=0.5, max_value=32.0),
+    penalty=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_layer_penalty_never_speeds_up(width, penalty):
+    base = Transistor(width=width)
+    slowed = Transistor(width=width, layer_penalty=penalty)
+    assert slowed.drive_resistance >= base.drive_resistance
+
+
+@given(
+    length=st.floats(min_value=1e-7, max_value=5e-3),
+    reduction=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_folding_never_lengthens_wires(length, reduction):
+    assert folded_length(length, reduction) <= length + 1e-18
+    assert folded_length_3d(length, reduction) <= folded_length(
+        length, reduction
+    ) + 1e-18
+
+
+@given(
+    l1=st.floats(min_value=1e-6, max_value=1e-3),
+    l2=st.floats(min_value=1e-6, max_value=1e-3),
+)
+def test_wire_delay_monotonic_in_length(l1, l2):
+    driver = Transistor(width=8.0)
+    short, long = sorted((l1, l2))
+    assert LOCAL_WIRE.elmore_delay(short, driver) <= LOCAL_WIRE.elmore_delay(
+        long, driver
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bitcell / array invariants
+# ---------------------------------------------------------------------------
+
+
+@given(ports=st.integers(min_value=1, max_value=24))
+def test_bitcell_dimensions_monotonic_in_ports(ports):
+    smaller = Bitcell(ports=ports)
+    bigger = Bitcell(ports=ports + 1)
+    assert bigger.width >= smaller.width
+    assert bigger.height >= smaller.height
+    assert bigger.leakage > smaller.leakage
+
+
+@given(mult=st.floats(min_value=1.0, max_value=4.0))
+def test_upsizing_trades_speed_for_wordline_load(mult):
+    base = Bitcell(ports=4)
+    upsized = base.scaled(mult)
+    assert upsized.read_path_resistance <= base.read_path_resistance
+    assert upsized.wordline_cap_per_cell >= base.wordline_cap_per_cell
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    words=st.sampled_from([32, 64, 128, 256, 1024]),
+    bits=st.sampled_from([8, 16, 64, 128]),
+    ports=st.integers(min_value=1, max_value=8),
+)
+def test_array_metrics_always_physical(words, bits, ports):
+    geometry = ArrayGeometry("prop", words=words, bits=bits, read_ports=ports)
+    metrics = solve_2d(geometry)
+    assert metrics.access_time > 0
+    assert metrics.read_energy > 0
+    assert metrics.write_energy > 0
+    assert metrics.area > 0
+    assert metrics.leakage_power > 0
+    assert metrics.detail.total > 0
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    rows=st.integers(min_value=8, max_value=512),
+    cols=st.integers(min_value=8, max_value=256),
+)
+def test_plane_delay_monotonic_in_both_dimensions(rows, cols):
+    cell = Bitcell(ports=1)
+    base = analyze_plane(rows, cols, cell)
+    taller = analyze_plane(rows * 2, cols, cell)
+    wider = analyze_plane(rows, cols * 2, cell)
+    assert taller.delay.bitline >= base.delay.bitline
+    assert wider.delay.wordline >= base.delay.wordline
+
+
+# ---------------------------------------------------------------------------
+# Simulator scheduling invariants
+# ---------------------------------------------------------------------------
+
+
+@given(earliests=st.lists(st.integers(min_value=0, max_value=200),
+                          min_size=1, max_size=60))
+def test_width_limiter_never_early(earliests):
+    limiter = _WidthLimiter(4)
+    previous = -1
+    for earliest in earliests:
+        cycle = limiter.allocate(earliest)
+        assert cycle >= earliest
+        assert cycle >= previous  # in-order stages never go backwards
+        previous = cycle
+
+
+@given(earliests=st.lists(st.integers(min_value=0, max_value=100),
+                          min_size=1, max_size=80))
+def test_per_cycle_bandwidth_respects_cap(earliests):
+    width = 3
+    limiter = _PerCycleBandwidth(width)
+    allocated = [limiter.allocate(e) for e in earliests]
+    for earliest, cycle in zip(earliests, allocated):
+        assert cycle >= earliest
+    for cycle in set(allocated):
+        assert allocated.count(cycle) <= width
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=60),
+            st.integers(min_value=1, max_value=8),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_fu_pool_never_oversubscribed(requests):
+    count = 2
+    pool = _FuPool(count)
+    occupancy = {}
+    for earliest, busy in requests:
+        start = pool.reserve(earliest, busy)
+        assert start >= earliest
+        for k in range(busy):
+            occupancy[start + k] = occupancy.get(start + k, 0) + 1
+    assert all(users <= count for users in occupancy.values())
+
+
+# ---------------------------------------------------------------------------
+# Cache invariants
+# ---------------------------------------------------------------------------
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                          min_size=1, max_size=300))
+def test_cache_repeat_access_hits(addresses):
+    cache = SetAssociativeCache(64 * 1024, 8, 64)
+    for address in addresses:
+        cache.access(address)
+    # Immediately repeating the last address always hits (it is MRU).
+    assert cache.access(addresses[-1])
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                          min_size=1, max_size=200))
+def test_cache_miss_count_bounded_by_unique_lines(addresses):
+    cache = SetAssociativeCache(1 << 20, 16, 64)
+    for address in addresses:
+        cache.access(address)
+    unique_lines = len({a // 64 for a in addresses})
+    assert cache.misses <= unique_lines  # big cache: only compulsory misses
+
+
+@given(cores=st.integers(min_value=1, max_value=32))
+def test_noc_shared_stops_never_slower(cores):
+    assert RingNoc(cores, shared_stops=True).average_latency <= RingNoc(
+        cores
+    ).average_latency
+
+
+# ---------------------------------------------------------------------------
+# Netlist timing invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    lengths=st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                     max_size=5)
+)
+def test_netlist_slack_nonnegative_and_critical_zero(lengths):
+    """In any fan-out tree, slacks are >= 0 and the critical path has 0."""
+    from repro.logic.gates import Gate, GateType
+    from repro.logic.netlist import Netlist
+
+    netlist = Netlist("prop")
+    netlist.add_gate("root", Gate(GateType.INV, size=2.0))
+    for b, chain_len in enumerate(lengths):
+        prev = "root"
+        for i in range(chain_len):
+            name = f"b{b}_g{i}"
+            netlist.add_gate(name, Gate(GateType.NAND2, size=2.0), fanin=[prev])
+            prev = name
+    slacks = netlist.slacks()
+    assert all(s >= -1e-18 for s in slacks.values())
+    path, _ = netlist.critical_path()
+    for name in path:
+        assert abs(slacks[name]) < 1e-15
+
+
+@given(scale=st.floats(min_value=0.1, max_value=1.0))
+def test_netlist_wire_scaling_monotonic(scale):
+    from repro.logic.adder import build_carry_skip_adder
+
+    full = build_carry_skip_adder()
+    _, before = full.critical_path()
+    full.scale_wires(scale)
+    _, after = full.critical_path()
+    assert after <= before + 1e-18
+
+
+# ---------------------------------------------------------------------------
+# Thermal solver invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=10)
+@given(power=st.floats(min_value=0.5, max_value=12.0))
+def test_thermal_maximum_principle(power):
+    """No cell may be cooler than ambient, and peak grows with power."""
+    from repro.thermal.floorplan import floorplan_2d
+    from repro.thermal.grid import solve_floorplans
+    from repro.thermal.stack import stack_2d_thermal
+
+    stack = stack_2d_thermal()
+    solution = solve_floorplans(stack, [floorplan_2d(power)], grid=6)
+    assert (solution.temperatures >= stack.ambient_c - 1e-6).all()
+    hotter = solve_floorplans(stack, [floorplan_2d(power * 1.5)], grid=6)
+    assert hotter.peak_c >= solution.peak_c
+
+
+@settings(deadline=None, max_examples=10)
+@given(power=st.floats(min_value=1.0, max_value=10.0))
+def test_thermal_tsv_always_hotter_than_m3d(power):
+    from repro.thermal.hotspot import peak_temperature_m3d, peak_temperature_tsv3d
+
+    m3d = peak_temperature_m3d(power, grid=6)
+    tsv = peak_temperature_tsv3d(power, grid=6)
+    assert tsv.peak_c > m3d.peak_c

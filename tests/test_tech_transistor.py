@@ -1,0 +1,121 @@
+"""Tests for transistor device models and layer penalties."""
+
+import pytest
+
+from repro.tech import constants
+from repro.tech.transistor import (
+    ProcessFlavor,
+    Transistor,
+    VtClass,
+    gate_delay,
+    leakage_at_temperature,
+)
+
+
+class TestSizing:
+    def test_resistance_inverse_in_width(self):
+        narrow = Transistor(width=1.0)
+        wide = Transistor(width=4.0)
+        assert wide.drive_resistance == pytest.approx(narrow.drive_resistance / 4)
+
+    def test_capacitance_linear_in_width(self):
+        narrow = Transistor(width=1.0)
+        wide = Transistor(width=3.0)
+        assert wide.gate_capacitance == pytest.approx(3 * narrow.gate_capacitance)
+        assert wide.drain_capacitance == pytest.approx(3 * narrow.drain_capacitance)
+
+    def test_area_linear_in_width(self):
+        assert Transistor(width=2.0).area == pytest.approx(2 * Transistor().area)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Transistor(width=0.0)
+
+    def test_resized_preserves_other_fields(self):
+        device = Transistor(width=1.0, vt=VtClass.LOW, layer_penalty=0.1)
+        resized = device.resized(5.0)
+        assert resized.width == 5.0
+        assert resized.vt is VtClass.LOW
+        assert resized.layer_penalty == 0.1
+
+
+class TestVtClasses:
+    def test_lvt_fastest(self):
+        lvt = Transistor(vt=VtClass.LOW)
+        rvt = Transistor(vt=VtClass.REGULAR)
+        hvt = Transistor(vt=VtClass.HIGH)
+        assert lvt.drive_resistance < rvt.drive_resistance < hvt.drive_resistance
+
+    def test_lvt_leaks_most(self):
+        lvt = Transistor(vt=VtClass.LOW)
+        hvt = Transistor(vt=VtClass.HIGH)
+        assert lvt.leakage_current > 10 * hvt.leakage_current
+
+
+class TestLayerPenalty:
+    def test_top_layer_is_slower(self):
+        bottom = Transistor()
+        top = bottom.on_top_layer()
+        assert top.drive_resistance > bottom.drive_resistance
+
+    def test_penalty_matches_shi_et_al(self):
+        # 17% drive loss -> resistance up by 1/(1-0.17).
+        bottom = Transistor()
+        top = bottom.on_top_layer()
+        assert top.drive_resistance == pytest.approx(
+            bottom.drive_resistance / (1 - constants.TOP_LAYER_DELAY_PENALTY)
+        )
+
+    def test_compensating_width_restores_drive(self):
+        bottom = Transistor(width=1.0)
+        width = bottom.compensating_width()
+        compensated = Transistor(width=width).on_top_layer()
+        assert compensated.drive_resistance == pytest.approx(
+            bottom.drive_resistance
+        )
+
+    def test_doubling_overcompensates_17_percent(self):
+        # The paper doubles widths; that more than cancels a 17% penalty.
+        bottom = Transistor(width=1.0)
+        doubled_top = Transistor(width=2.0).on_top_layer()
+        assert doubled_top.drive_resistance < bottom.drive_resistance
+
+    def test_invalid_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            Transistor(layer_penalty=1.0)
+        with pytest.raises(ValueError):
+            Transistor(layer_penalty=-0.1)
+
+
+class TestFlavors:
+    def test_lp_slower_than_hp(self):
+        hp = Transistor(flavor=ProcessFlavor.HP)
+        lp = Transistor(flavor=ProcessFlavor.LP)
+        assert lp.drive_resistance > hp.drive_resistance
+
+    def test_lp_leaks_less(self):
+        hp = Transistor(flavor=ProcessFlavor.HP)
+        lp = Transistor(flavor=ProcessFlavor.LP)
+        assert lp.leakage_current < hp.leakage_current / 2
+
+
+class TestGateDelay:
+    def test_delay_linear_in_load(self):
+        device = Transistor(width=2.0)
+        d1 = gate_delay(device, 1e-15)
+        d2 = gate_delay(device, 2e-15)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            gate_delay(Transistor(), -1e-15)
+
+
+class TestLeakageTemperature:
+    def test_leakage_doubles_every_18c(self):
+        base = leakage_at_temperature(1e-9, 85.0)
+        hot = leakage_at_temperature(1e-9, 103.0)
+        assert hot == pytest.approx(2 * base, rel=0.01)
+
+    def test_reference_point_identity(self):
+        assert leakage_at_temperature(5e-9, 85.0) == pytest.approx(5e-9)

@@ -1,0 +1,122 @@
+"""Tests for the wire RC and folding models."""
+
+import pytest
+
+from repro.tech.transistor import Transistor
+from repro.tech.wire import (
+    GLOBAL_WIRE,
+    LOCAL_WIRE,
+    SEMI_GLOBAL_WIRE,
+    WireTechnology,
+    folded_length,
+    folded_length_3d,
+)
+
+
+class TestWireRc:
+    def test_resistance_linear_in_length(self):
+        assert LOCAL_WIRE.resistance(2e-6) == pytest.approx(
+            2 * LOCAL_WIRE.resistance(1e-6)
+        )
+
+    def test_capacitance_linear_in_length(self):
+        assert LOCAL_WIRE.capacitance(3e-6) == pytest.approx(
+            3 * LOCAL_WIRE.capacitance(1e-6)
+        )
+
+    def test_zero_length_wire_is_free(self):
+        assert LOCAL_WIRE.resistance(0.0) == 0.0
+        assert LOCAL_WIRE.capacitance(0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            LOCAL_WIRE.resistance(-1e-6)
+
+    def test_metal_hierarchy_resistance(self):
+        # Upper metals are fatter: less resistive per metre.
+        assert (
+            GLOBAL_WIRE.resistance_per_m
+            < SEMI_GLOBAL_WIRE.resistance_per_m
+            < LOCAL_WIRE.resistance_per_m
+        )
+
+    def test_tungsten_three_times_copper(self):
+        w = LOCAL_WIRE.with_tungsten()
+        assert w.resistance_per_m == pytest.approx(
+            3 * LOCAL_WIRE.resistance_per_m
+        )
+        assert "w" in w.name
+
+
+class TestElmore:
+    def test_delay_superlinear_in_length(self):
+        driver = Transistor(width=8.0)
+        d1 = LOCAL_WIRE.elmore_delay(100e-6, driver)
+        d2 = LOCAL_WIRE.elmore_delay(200e-6, driver)
+        # Quadratic wire term makes doubling more than double.
+        assert d2 > 2 * d1
+
+    def test_stronger_driver_is_faster(self):
+        weak = Transistor(width=2.0)
+        strong = Transistor(width=16.0)
+        assert LOCAL_WIRE.elmore_delay(50e-6, strong) < LOCAL_WIRE.elmore_delay(
+            50e-6, weak
+        )
+
+    def test_load_cap_adds_delay(self):
+        driver = Transistor(width=8.0)
+        assert LOCAL_WIRE.elmore_delay(50e-6, driver, load_cap=10e-15) > (
+            LOCAL_WIRE.elmore_delay(50e-6, driver)
+        )
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            LOCAL_WIRE.elmore_delay(1e-6, Transistor(), load_cap=-1e-15)
+
+    def test_repeated_wire_linear_per_metre(self):
+        repeater = Transistor(width=16.0)
+        per_m = LOCAL_WIRE.repeated_delay_per_m(repeater)
+        assert per_m > 0
+        # Repeated delay should beat unrepeated for long wires.
+        unrepeated = LOCAL_WIRE.elmore_delay(1e-3, repeater)
+        assert per_m * 1e-3 < unrepeated
+
+
+class TestEnergy:
+    def test_switching_energy_cv2(self):
+        energy = LOCAL_WIRE.switching_energy(100e-6, vdd=0.8)
+        expected = LOCAL_WIRE.capacitance(100e-6) * 0.8**2
+        assert energy == pytest.approx(expected)
+
+    def test_vdd_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LOCAL_WIRE.switching_energy(1e-6, vdd=0.0)
+
+
+class TestFolding:
+    def test_folded_length_sqrt_rule(self):
+        # 50% footprint reduction -> sqrt(0.5) length.
+        assert folded_length(100e-6, 0.5) == pytest.approx(100e-6 * 0.5**0.5)
+
+    def test_folded_length_3d_full_rule(self):
+        # Stackable endpoints see the full reduction.
+        assert folded_length_3d(100e-6, 0.5) == pytest.approx(50e-6)
+
+    def test_3d_folding_at_least_as_good(self):
+        for reduction in (0.1, 0.41, 0.5):
+            assert folded_length_3d(1e-3, reduction) <= folded_length(
+                1e-3, reduction
+            )
+
+    def test_no_reduction_is_identity(self):
+        assert folded_length(42e-6, 0.0) == pytest.approx(42e-6)
+
+    def test_invalid_reduction_rejected(self):
+        with pytest.raises(ValueError):
+            folded_length(1e-6, 1.0)
+        with pytest.raises(ValueError):
+            folded_length_3d(1e-6, -0.2)
+
+    def test_bad_wire_technology_rejected(self):
+        with pytest.raises(ValueError):
+            WireTechnology(resistance_per_m=0.0)

@@ -1,0 +1,96 @@
+"""Tests for the tournament branch predictor."""
+
+import random
+
+import pytest
+
+from repro.uarch.bpred import TournamentPredictor, _Counters
+
+
+class TestCounters:
+    def test_saturation(self):
+        counters = _Counters(16)
+        for _ in range(10):
+            counters.train(3, True)
+        assert counters.predict(3)
+        for _ in range(10):
+            counters.train(3, False)
+        assert not counters.predict(3)
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            _Counters(10)
+
+    def test_index_masking(self):
+        counters = _Counters(16)
+        counters.train(16 + 3, True)
+        counters.train(3, True)
+        assert counters.predict(3)
+
+
+class TestTournament:
+    def test_learns_constant_branch(self):
+        predictor = TournamentPredictor()
+        for _ in range(500):
+            predictor.predict_and_train(4096, True)
+        assert predictor.stats.accuracy > 0.95
+
+    def test_learns_loop_pattern(self):
+        # T T T T N repeating — local history nails this.
+        predictor = TournamentPredictor()
+        for i in range(4000):
+            predictor.predict_and_train(4096, i % 5 != 4)
+        assert predictor.stats.accuracy > 0.9
+
+    def test_random_branch_near_chance(self):
+        predictor = TournamentPredictor()
+        rng = random.Random(7)
+        for _ in range(4000):
+            predictor.predict_and_train(4096, rng.random() < 0.5)
+        assert 0.35 < predictor.stats.accuracy < 0.65
+
+    def test_biased_mix_reasonable_accuracy(self):
+        predictor = TournamentPredictor()
+        rng = random.Random(3)
+        sites = [(4096 + i * 8, 0.95 if i % 4 else 0.6) for i in range(64)]
+        for _ in range(20000):
+            pc, bias = sites[rng.randrange(64)]
+            predictor.predict_and_train(pc, rng.random() < bias)
+        assert predictor.stats.accuracy > 0.82
+
+    def test_btb_tracks_taken_branches(self):
+        predictor = TournamentPredictor()
+        for _ in range(3):
+            predictor.predict_and_train(4096, True)
+        first_misses = predictor.stats.btb_misses
+        assert first_misses == 1  # only the first taken visit misses
+
+    def test_btb_capacity_eviction(self):
+        predictor = TournamentPredictor(btb_entries=16, btb_ways=4)
+        # Fill one set beyond capacity: 8 branches mapping to the same set.
+        for i in range(8):
+            predictor.predict_and_train(4096 + i * 4 * 4, True)
+        before = predictor.stats.btb_misses
+        predictor.predict_and_train(4096, True)  # evicted by now
+        assert predictor.stats.btb_misses == before + 1
+
+    def test_ras_matches_calls(self):
+        predictor = TournamentPredictor()
+        predictor.push_return(100)
+        predictor.push_return(200)
+        assert predictor.pop_return(200)
+        assert predictor.pop_return(100)
+
+    def test_ras_overflow_drops_oldest(self):
+        predictor = TournamentPredictor(ras_entries=2)
+        for pc in (1, 2, 3):
+            predictor.push_return(pc)
+        assert predictor.pop_return(3)
+        assert predictor.pop_return(2)
+        assert not predictor.pop_return(1)  # dropped
+
+    def test_stats_accumulate(self):
+        predictor = TournamentPredictor()
+        for i in range(100):
+            predictor.predict_and_train(4096, True)
+        assert predictor.stats.branches == 100

@@ -1,0 +1,84 @@
+"""Tests for the ring NoC and the multicore barrier-aligned model."""
+
+import pytest
+
+from repro.core.configs import base_config, m3d_het_2x_config, m3d_het_config
+from repro.uarch.multicore import run_parallel
+from repro.uarch.noc import RingNoc
+from repro.workloads.parallel import parallel_by_name
+from repro.workloads.spec import spec_by_name
+
+
+@pytest.fixture(scope="module")
+def water():
+    return parallel_by_name()["Water-Spatial"]
+
+
+class TestRingNoc:
+    def test_stop_count(self):
+        assert RingNoc(4).num_stops == 4
+        assert RingNoc(4, shared_stops=True).num_stops == 2
+        assert RingNoc(8, shared_stops=True).num_stops == 4
+
+    def test_shared_stops_cut_latency(self):
+        # Figure 4: halved stop count and link length.
+        assert RingNoc(4, shared_stops=True).average_latency < RingNoc(
+            4
+        ).average_latency
+
+    def test_latency_grows_with_cores(self):
+        assert RingNoc(8).average_latency > RingNoc(2).average_latency
+
+    def test_link_energy_drops_when_folded(self):
+        assert RingNoc(4, shared_stops=True).link_energy_per_flit() < RingNoc(
+            4
+        ).link_energy_per_flit()
+
+    def test_needs_cores(self):
+        with pytest.raises(ValueError):
+            RingNoc(0)
+
+
+class TestMulticore:
+    def test_runs_all_cores(self, water):
+        result = run_parallel(base_config(num_cores=4), water, 16000)
+        assert len(result.per_core) == 4
+        assert result.cycles > 0
+
+    def test_rejects_sequential_profile(self):
+        with pytest.raises(ValueError):
+            run_parallel(base_config(num_cores=4), spec_by_name()["Mcf"], 8000)
+
+    def test_barrier_alignment_never_faster_than_slowest(self, water):
+        result = run_parallel(base_config(num_cores=4), water, 16000)
+        slowest = max(core.cycles for core in result.per_core)
+        assert result.cycles >= slowest
+
+    def test_barrier_wait_nonnegative(self, water):
+        result = run_parallel(base_config(num_cores=4), water, 16000)
+        assert result.barrier_wait_cycles >= 0
+
+    def test_more_cores_less_per_core_work(self, water):
+        four = run_parallel(base_config(num_cores=4), water, 16000)
+        eight = run_parallel(m3d_het_2x_config(), water, 16000)
+        assert eight.per_core[0].stats.uops < four.per_core[0].stats.uops
+
+    def test_het_2x_near_double(self, water):
+        # The headline result: twice the cores at iso power -> ~1.9x.
+        base = run_parallel(base_config(num_cores=4), water, 16000)
+        twice = run_parallel(m3d_het_2x_config(), water, 16000)
+        assert twice.speedup_over(base) > 1.5
+
+    def test_m3d_het_beats_base(self, water):
+        base = run_parallel(base_config(num_cores=4), water, 16000)
+        het = run_parallel(m3d_het_config(num_cores=4), water, 16000)
+        assert het.speedup_over(base) > 1.0
+
+    def test_coherence_traffic_observed(self, water):
+        result = run_parallel(base_config(num_cores=4), water, 16000)
+        assert result.coherence_transfers > 0
+
+    def test_deterministic(self, water):
+        first = run_parallel(base_config(num_cores=4), water, 8000, seed=7)
+        second = run_parallel(base_config(num_cores=4), water, 8000, seed=7)
+        assert first.cycles == second.cycles
