@@ -1,0 +1,251 @@
+"""Performance benchmark for the experiment engine.
+
+Times the full experiment runner plus the two hot kernels the engine
+optimises (the thermal solver and the OOO per-cycle limiters), and writes
+a ``BENCH_<timestamp>.json`` record so the performance trajectory is
+tracked from commit to commit.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py            # full record
+    PYTHONPATH=src python scripts/bench.py --quick    # CI smoke run
+
+Sections
+--------
+
+``runner``
+    Wall-clock of every table and figure through the engine: a cold pass
+    (empty caches), a warm in-memory pass (same process), and a warm
+    on-disk pass (fresh engine, populated cache directory — must not
+    simulate anything).
+``thermal``
+    Scalar ``lil_matrix``+``spsolve`` reference vs the vectorized,
+    ``splu``-factorized fast path, amortised over a Figure-8-sized batch
+    of right-hand sides.
+``limiter``
+    Memory footprint of the per-cycle issue/FU occupancy maps on a long
+    trace, with pruning disabled vs enabled.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Seed-commit wall-clock of ``python -m repro.experiments.runner`` at
+#: default sizes on the reference container (measured before the engine
+#: existed); ``runner.speedup_vs_seed`` tracks the tentpole's >=3x target.
+SEED_RUNNER_SECONDS = 175.3
+
+
+def _silent(fn, *args, **kwargs):
+    """Run fn with stdout swallowed; return (seconds, result)."""
+    sink = io.StringIO()
+    start = time.perf_counter()
+    with contextlib.redirect_stdout(sink):
+        result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def bench_runner(uops: int, multicore_uops: int, quick: bool) -> dict:
+    from repro import engine
+    from repro.experiments.runner import run_figures, run_tables
+
+    def full_report():
+        run_tables()
+        run_figures(uops, multicore_uops)
+
+    # Cold: fresh engine, nothing cached anywhere.
+    engine.configure(jobs=1, cache_dir=None)
+    cold_seconds, _ = _silent(full_report)
+
+    # Warm memory: same engine, same process.
+    warm_memory_seconds, _ = _silent(full_report)
+
+    # Warm disk: populate a cache directory, then start a fresh engine
+    # (empty memory) pointed at it — every result must come from disk.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        engine.configure(jobs=1, cache_dir=tmp)
+        _silent(full_report)
+        engine.configure(jobs=1, cache_dir=tmp)
+        warm_disk_seconds, _ = _silent(full_report)
+        warm_disk_misses = engine.get_engine().cache.stats.misses
+    engine.configure(jobs=1, cache_dir=None)
+
+    record = {
+        "uops": uops,
+        "multicore_uops": multicore_uops,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_memory_seconds": round(warm_memory_seconds, 3),
+        "warm_disk_seconds": round(warm_disk_seconds, 3),
+        "warm_disk_misses": warm_disk_misses,
+    }
+    if not quick:
+        # The seed baseline was measured at default sizes; comparing a
+        # --quick run against it would be meaningless.
+        record["seed_baseline_seconds"] = SEED_RUNNER_SECONDS
+        record["speedup_vs_seed"] = round(SEED_RUNNER_SECONDS / cold_seconds, 2)
+    return record
+
+
+def bench_thermal(grid: int, solves: int) -> dict:
+    import numpy as np
+
+    from repro.thermal.grid import solve_stack, solve_stack_reference
+    from repro.thermal.stack import (
+        stack_2d_thermal,
+        stack_m3d_thermal,
+        stack_tsv3d_thermal,
+    )
+
+    stacks = [stack_2d_thermal(), stack_m3d_thermal(), stack_tsv3d_thermal()]
+    chip_area = 5e-6
+    cases = []
+    for stack in stacks:
+        maps = [None] * len(stack.layers)
+        for rank, index in enumerate(stack.active_indices):
+            density = (10.0 + 2.0 * rank) / chip_area
+            maps[index] = [[density] * grid for _ in range(grid)]
+        cases.append((stack, maps))
+
+    start = time.perf_counter()
+    reference = [
+        solve_stack_reference(stack, maps, chip_area, grid=grid)
+        for stack, maps in cases
+        for _ in range(solves)
+    ]
+    reference_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast = [
+        solve_stack(stack, maps, chip_area, grid=grid)
+        for stack, maps in cases
+        for _ in range(solves)
+    ]
+    fast_seconds = time.perf_counter() - start
+
+    max_diff = max(
+        float(np.abs(a.temperatures - b.temperatures).max())
+        for a, b in zip(reference, fast)
+    )
+    return {
+        "grid": grid,
+        "stacks": len(stacks),
+        "solves_per_stack": solves,
+        "reference_seconds": round(reference_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(reference_seconds / max(fast_seconds, 1e-9), 1),
+        "max_abs_diff_c": max_diff,
+    }
+
+
+def bench_limiter(uops: int) -> dict:
+    from repro.core.configs import base_config
+    from repro.uarch import ooo
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import spec_profiles
+
+    profile = spec_profiles()[0]
+    trace = generate_trace(profile, uops, seed=1234)
+    config = base_config()
+
+    original_interval = ooo.PRUNE_INTERVAL
+
+    def run_once():
+        start = time.perf_counter()
+        result = ooo.run_trace(config, trace)
+        return time.perf_counter() - start, result
+
+    try:
+        ooo.PRUNE_INTERVAL = 1 << 62  # pruning never triggers
+        unbounded_seconds, unbounded = run_once()
+        unbounded_cycles = ooo.last_tracked_cycles()
+        ooo.PRUNE_INTERVAL = original_interval
+        bounded_seconds, bounded = run_once()
+        bounded_cycles = ooo.last_tracked_cycles()
+    finally:
+        ooo.PRUNE_INTERVAL = original_interval
+
+    assert unbounded.cycles == bounded.cycles, "pruning changed the result"
+    return {
+        "uops": uops,
+        "unbounded_seconds": round(unbounded_seconds, 3),
+        "bounded_seconds": round(bounded_seconds, 3),
+        "unbounded_tracked_cycles": unbounded_cycles,
+        "bounded_tracked_cycles": bounded_cycles,
+        "tracked_cycle_reduction": round(
+            unbounded_cycles / max(1, bounded_cycles), 1
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--output", default=None,
+                        help="output path (default: BENCH_<timestamp>.json)")
+    args = parser.parse_args()
+
+    if args.quick:
+        sizes = dict(uops=1000, multicore_uops=3000, grid=8, solves=3,
+                     limiter_uops=20000)
+    else:
+        sizes = dict(uops=8000, multicore_uops=24000, grid=12, solves=21,
+                     limiter_uops=60000)
+
+    record = {
+        "schema": "repro-bench-v1",
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "quick": args.quick,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    print(f"benchmarking runner (uops={sizes['uops']}, "
+          f"multicore_uops={sizes['multicore_uops']}) ...")
+    record["runner"] = bench_runner(sizes["uops"], sizes["multicore_uops"],
+                                    args.quick)
+    print(f"  cold {record['runner']['cold_seconds']}s, "
+          f"warm-memory {record['runner']['warm_memory_seconds']}s, "
+          f"warm-disk {record['runner']['warm_disk_seconds']}s "
+          f"({record['runner']['warm_disk_misses']} misses)")
+
+    print(f"benchmarking thermal solver (grid={sizes['grid']}) ...")
+    record["thermal"] = bench_thermal(sizes["grid"], sizes["solves"])
+    print(f"  reference {record['thermal']['reference_seconds']}s vs "
+          f"fast {record['thermal']['fast_seconds']}s "
+          f"({record['thermal']['speedup']}x, "
+          f"max diff {record['thermal']['max_abs_diff_c']:.2e} C)")
+
+    print(f"benchmarking limiter pruning (uops={sizes['limiter_uops']}) ...")
+    record["limiter"] = bench_limiter(sizes["limiter_uops"])
+    print(f"  tracked cycles {record['limiter']['unbounded_tracked_cycles']} "
+          f"-> {record['limiter']['bounded_tracked_cycles']} "
+          f"({record['limiter']['tracked_cycle_reduction']}x smaller)")
+
+    if args.output:
+        out = Path(args.output)
+    else:
+        stamp = datetime.now(timezone.utc).strftime("%Y%m%d_%H%M%S")
+        out = REPO_ROOT / f"BENCH_{stamp}.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,7 @@ import argparse
 import re
 import sys
 
+from repro import engine
 from repro.core.structures import structures_by_name
 from repro.experiments import figures as figmod
 from repro.experiments import tables as tabmod
@@ -121,6 +122,12 @@ def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--uops", type=int, default=8000,
                         help="measured micro-ops per simulated run")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation sweeps "
+                             "(1 = serial; results are identical either way)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist simulation results here; a warm cache "
+                             "skips every simulation on the next run")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("partition", help="partition one structure")
@@ -142,6 +149,10 @@ def main(argv=None) -> None:
     p.set_defaults(func=cmd_report)
 
     args = parser.parse_args(argv)
+    if args.jobs != 1 or args.cache_dir is not None:
+        # Replacing the engine drops its in-memory layer, so only do it
+        # when the invocation actually asks for a different setup.
+        engine.configure(jobs=args.jobs, cache_dir=args.cache_dir)
     args.func(args)
 
 

@@ -1,0 +1,192 @@
+"""Content-keyed result cache for the experiment engine.
+
+Every simulation result is stored under a key derived from *all* the
+inputs that determine it: the configuration, the application profile, the
+trace length, the seed — and a fingerprint of the model source code, so a
+change to any module under ``repro`` invalidates every cached result
+automatically (the same invalidation discipline CACTI wrappers such as
+the Accelergy plug-in apply to their on-disk result stores).
+
+Two layers:
+
+* an in-memory dictionary, shared by every sweep in one process — this is
+  what lets figure6/7/8 reuse one single-core sweep and figure9/10 one
+  multicore sweep;
+* an optional on-disk pickle layer (``cache_dir``), so repeated invocations
+  of the runner, the benchmarks and the CLI skip simulation entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hex digest over every ``repro`` source file (computed once).
+
+    Any edit to the models changes the digest, so stale on-disk results
+    can never be returned after a code change.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a key part to JSON-serialisable, deterministic form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__,
+                "fields": _canonical(dataclasses.asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot build a cache key from {type(value).__name__}")
+
+
+def make_key(kind: str, **parts: Any) -> str:
+    """Stable content key for one result (includes the code fingerprint)."""
+    payload = json.dumps(
+        {"kind": kind, "code": code_fingerprint(), "parts": _canonical(parts)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting, exposed to bench and the tests."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+class ResultCache:
+    """Two-layer (memory + optional disk) pickle store for results."""
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None,
+                 max_memory_entries: int = 8192) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.max_memory_entries = max_memory_entries
+        self._memory: dict = {}
+        self.stats = CacheStats()
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; consults memory first, then disk."""
+        if key in self._memory:
+            self.stats.memory_hits += 1
+            return True, self._memory[key]
+        if self.cache_dir is not None:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    with path.open("rb") as handle:
+                        value = pickle.load(handle)
+                except Exception:
+                    # A truncated/corrupt entry is a miss; drop it.
+                    path.unlink(missing_ok=True)
+                else:
+                    self.stats.disk_hits += 1
+                    self._remember(key, value)
+                    return True, value
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a result in memory and (if configured) on disk."""
+        self.stats.stores += 1
+        self._remember(key, value)
+        if self.cache_dir is not None:
+            path = self._path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent reader sees either nothing or a
+            # complete pickle, never a partial write.
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()
+
+    # -- internals ------------------------------------------------------------
+
+    def _remember(self, key: str, value: Any) -> None:
+        memory = self._memory
+        if len(memory) >= self.max_memory_entries:
+            # Evict oldest insertions (dicts preserve insertion order).
+            for stale in list(memory)[: self.max_memory_entries // 4]:
+                del memory[stale]
+        memory[key] = value
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+
+def memoized(kind: str):
+    """Memoize a pure experiment function through the default engine cache.
+
+    Used by the table generators whose sweeps repeat across the runner,
+    the CLI and the benchmark suite.  Arguments must be hashable into a
+    content key (strings/numbers/dataclasses).
+    """
+
+    def decorate(fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from repro.engine.sweep import get_engine
+
+            cache = get_engine().cache
+            key = make_key(f"memo:{kind}", args=list(args), kwargs=kwargs)
+            hit, value = cache.get(key)
+            if hit:
+                return value
+            value = fn(*args, **kwargs)
+            cache.put(key, value)
+            return value
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

@@ -1,0 +1,234 @@
+"""The shared experiment engine: memoized, parallel sweep execution.
+
+All figure/table sweeps funnel through one :class:`ExperimentEngine`.
+Each (application, configuration) simulation is described by a
+:class:`SimSpec`; the engine looks every spec up in the result cache,
+fans the misses out across worker processes (``jobs > 1``) or runs them
+inline (``jobs == 1``), and returns results in submission order — so a
+parallel sweep is bit-identical to a serial one.
+
+Trace generation is memoized per process (one trace per
+``(profile, uops, seed)`` no matter how many configurations consume it),
+and simulation results are memoized across sweeps: figure6, figure7 and
+figure8 together cost *one* single-core sweep, figure9 and figure10 one
+multicore sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configs import (
+    CoreConfig,
+    multicore_configs,
+    single_core_configs,
+)
+from repro.engine.cache import ResultCache, make_key
+from repro.uarch.multicore import MulticoreResult, run_parallel
+from repro.uarch.ooo import SimResult, run_trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.parallel import parallel_profiles
+from repro.workloads.profiles import AppProfile
+from repro.workloads.spec import spec_profiles
+
+
+@dataclasses.dataclass(frozen=True)
+class SimSpec:
+    """One unit of simulation work: an (app, config) pair.
+
+    ``mode`` is ``"single"`` (one core, ``uops`` measured micro-ops) or
+    ``"multicore"`` (``uops`` is the total work across all cores).
+    """
+
+    mode: str
+    config: CoreConfig
+    profile: AppProfile
+    uops: int
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("single", "multicore"):
+            raise ValueError(f"unknown SimSpec mode {self.mode!r}")
+
+    def cache_key(self) -> str:
+        return make_key(
+            f"sim:{self.mode}",
+            config=self.config,
+            profile=self.profile,
+            uops=self.uops,
+            seed=self.seed,
+        )
+
+
+# -- worker-side execution ----------------------------------------------------
+
+#: Per-process trace memo: every configuration sweeping the same app reuses
+#: one generated trace (bounded; traces are a few MB each at most).
+_TRACE_MEMO: "OrderedDict[Tuple[str, int, int], object]" = OrderedDict()
+_TRACE_MEMO_CAP = 8
+
+
+def _trace_for(profile: AppProfile, uops: int, seed: int):
+    key = (profile.name, uops, seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = generate_trace(profile, uops, seed=seed)
+        _TRACE_MEMO[key] = trace
+        if len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
+            _TRACE_MEMO.popitem(last=False)
+    else:
+        _TRACE_MEMO.move_to_end(key)
+    return trace
+
+
+def execute_spec(spec: SimSpec):
+    """Run one spec to completion (in this process)."""
+    if spec.mode == "single":
+        trace = _trace_for(spec.profile, spec.uops, spec.seed)
+        return run_trace(spec.config, trace)
+    return run_parallel(spec.config, spec.profile, spec.uops, seed=spec.seed)
+
+
+# -- the engine ---------------------------------------------------------------
+
+class ExperimentEngine:
+    """Cached, optionally parallel executor for experiment sweeps."""
+
+    def __init__(self, jobs: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 cache_dir: Optional[os.PathLike] = None) -> None:
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass either cache or cache_dir, not both")
+        self.jobs = max(1, int(jobs))
+        self.cache = cache if cache is not None else ResultCache(cache_dir)
+
+    # -- batch execution ------------------------------------------------------
+
+    def run_specs(self, specs: Sequence[SimSpec]) -> List[object]:
+        """Execute a batch of specs; results come back in spec order.
+
+        Cached specs are served without simulating; the misses run inline
+        (``jobs == 1``) or across a process pool, and are inserted into
+        the cache for the sweeps that follow.
+        """
+        keys = [spec.cache_key() for spec in specs]
+        results: List[object] = [None] * len(specs)
+        missing: List[int] = []
+        for index, key in enumerate(keys):
+            hit, value = self.cache.get(key)
+            if hit:
+                results[index] = value
+            else:
+                missing.append(index)
+        if not missing:
+            return results
+        if self.jobs > 1 and len(missing) > 1:
+            workers = min(self.jobs, len(missing))
+            chunk = max(1, len(missing) // (workers * 4))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(
+                    pool.map(execute_spec, [specs[i] for i in missing],
+                             chunksize=chunk)
+                )
+        else:
+            fresh = [execute_spec(specs[i]) for i in missing]
+        for index, value in zip(missing, fresh):
+            results[index] = value
+            self.cache.put(keys[index], value)
+        return results
+
+    # -- single results -------------------------------------------------------
+
+    def simulate(self, config: CoreConfig, profile: AppProfile, uops: int,
+                 seed: int = 1234) -> SimResult:
+        """One cached single-core run."""
+        return self.run_specs([SimSpec("single", config, profile, uops,
+                                       seed)])[0]
+
+    def simulate_parallel(self, config: CoreConfig, profile: AppProfile,
+                          total_uops: int, seed: int = 1234) -> MulticoreResult:
+        """One cached multicore run."""
+        return self.run_specs([SimSpec("multicore", config, profile,
+                                       total_uops, seed)])[0]
+
+    # -- full sweeps ----------------------------------------------------------
+
+    def single_core_runs(
+        self,
+        uops: int,
+        seed: int = 1234,
+        configs: Optional[List[CoreConfig]] = None,
+        profiles: Optional[List[AppProfile]] = None,
+    ) -> Tuple[List[CoreConfig], Dict[str, Dict[str, SimResult]]]:
+        """Every SPEC app on every single-core config (the Figure 6-8 sweep)."""
+        configs = list(configs) if configs is not None else single_core_configs()
+        profiles = list(profiles) if profiles is not None else spec_profiles()
+        specs = [
+            SimSpec("single", config, profile, uops, seed)
+            for profile in profiles
+            for config in configs
+        ]
+        flat = self.run_specs(specs)
+        runs: Dict[str, Dict[str, SimResult]] = {}
+        for spec, result in zip(specs, flat):
+            runs.setdefault(spec.profile.name, {})[spec.config.name] = result
+        return configs, runs
+
+    def multicore_runs(
+        self,
+        total_uops: int,
+        seed: int = 1234,
+        configs: Optional[List[CoreConfig]] = None,
+        profiles: Optional[List[AppProfile]] = None,
+    ) -> Tuple[List[CoreConfig], Dict[str, Dict[str, MulticoreResult]]]:
+        """Every parallel app on every multicore config (Figure 9-10)."""
+        configs = list(configs) if configs is not None else multicore_configs()
+        profiles = list(profiles) if profiles is not None else parallel_profiles()
+        specs = [
+            SimSpec("multicore", config, profile, total_uops, seed)
+            for profile in profiles
+            for config in configs
+        ]
+        flat = self.run_specs(specs)
+        runs: Dict[str, Dict[str, MulticoreResult]] = {}
+        for spec, result in zip(specs, flat):
+            runs.setdefault(spec.profile.name, {})[spec.config.name] = result
+        return configs, runs
+
+
+# -- process-wide default engine ----------------------------------------------
+
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def get_engine() -> ExperimentEngine:
+    """The process-wide engine every experiment entry point shares.
+
+    Created lazily with ``jobs`` from ``$REPRO_JOBS`` (default 1) and the
+    disk layer from ``$REPRO_CACHE_DIR`` (default: memory only); replace
+    it with :func:`configure`.
+    """
+    global _default_engine
+    if _default_engine is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or 1)
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+        _default_engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    return _default_engine
+
+
+def configure(jobs: Optional[int] = None,
+              cache_dir: Optional[os.PathLike] = None) -> ExperimentEngine:
+    """Install (and return) a fresh default engine.
+
+    ``jobs=None`` keeps the current engine's job count; the in-memory
+    cache starts empty, the disk layer points at ``cache_dir``.
+    """
+    global _default_engine
+    if jobs is None:
+        jobs = _default_engine.jobs if _default_engine is not None else 1
+    _default_engine = ExperimentEngine(jobs=jobs, cache_dir=cache_dir)
+    return _default_engine

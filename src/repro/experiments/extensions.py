@@ -22,14 +22,12 @@ from repro.core.configs import (
     m3d_het_config,
     m3d_het_wide_config,
 )
+from repro.engine.sweep import get_engine
 from repro.power.core_power import CorePowerModel, power_model_for
 from repro.power.energy import factors_for_stack
 from repro.tech.constants import TUNGSTEN_RESISTANCE_FACTOR
 from repro.tech.transistor import Transistor, VtClass
 from repro.tech.wire import LOCAL_WIRE
-from repro.uarch.multicore import run_parallel
-from repro.uarch.ooo import run_trace
-from repro.workloads.generator import generate_trace
 from repro.workloads.parallel import parallel_profiles
 from repro.workloads.spec import spec_profiles
 
@@ -63,13 +61,13 @@ def lp_top_energy_study(uops: int = 6000, apps: int = 8) -> LpTopResult:
     het_model = power_model_for(het_cfg)
     lp_model = CorePowerModel(het_cfg, factors_for_stack("M3D-LPtop"))
 
+    engine = get_engine()
     names: List[str] = []
     het_energy: List[float] = []
     lp_energy: List[float] = []
     for profile in spec_profiles()[:apps]:
-        trace = generate_trace(profile, uops)
-        base_run = run_trace(base_cfg, trace)
-        het_run = run_trace(het_cfg, trace)
+        base_run = engine.simulate(base_cfg, profile, uops)
+        het_run = engine.simulate(het_cfg, profile, uops)
         base_report = base_model.evaluate(base_run)
         names.append(profile.name)
         het_energy.append(het_model.evaluate(het_run).normalized_to(base_report))
@@ -93,12 +91,13 @@ def design_alternatives_study(total_uops: int = 24000,
     models = {cfg.name: power_model_for(cfg) for cfg in configs}
     sums = {cfg.name: {"speedup": 0.0, "energy": 0.0} for cfg in configs}
 
+    engine = get_engine()
     profiles = parallel_profiles()[:apps]
     for profile in profiles:
-        base = run_parallel(configs[0], profile, total_uops)
+        base = engine.simulate_parallel(configs[0], profile, total_uops)
         base_report = models["Base"].evaluate_multicore(base)
         for cfg in configs:
-            result = run_parallel(cfg, profile, total_uops)
+            result = engine.simulate_parallel(cfg, profile, total_uops)
             report = models[cfg.name].evaluate_multicore(result)
             scale = base.total_uops / max(1, result.total_uops)
             sums[cfg.name]["speedup"] += result.speedup_over(base)

@@ -3,6 +3,11 @@
 Each function sweeps the relevant configurations over the relevant
 application suite and returns per-application series shaped exactly like
 the paper's bar charts, plus the suite average the text quotes.
+
+All sweeps execute through :mod:`repro.engine`: figure6, figure7 and
+figure8 share one cached single-core sweep, figure9 and figure10 one
+multicore sweep, and ``--jobs`` fans the (app, config) pairs across
+worker processes without changing any result.
 """
 
 from __future__ import annotations
@@ -10,20 +15,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional
 
-from repro.core.configs import (
-    CoreConfig,
-    multicore_configs,
-    single_core_configs,
-)
+from repro.core.configs import CoreConfig
+from repro.engine.sweep import ExperimentEngine, get_engine
 from repro.power.core_power import power_model_for
 from repro.thermal.hotspot import (
     peak_temperature_2d,
     peak_temperature_m3d,
     peak_temperature_tsv3d,
 )
-from repro.uarch.multicore import run_parallel
-from repro.uarch.ooo import run_trace
-from repro.workloads.generator import generate_trace
 from repro.workloads.parallel import parallel_profiles
 from repro.workloads.spec import spec_profiles
 
@@ -66,16 +65,16 @@ class FigureSeries:
 
 
 def _single_core_runs(uops: int, seed: int,
-                      configs: Optional[List[CoreConfig]] = None):
-    """Simulate every SPEC app on every single-core config."""
-    configs = configs if configs is not None else single_core_configs()
-    runs: Dict[str, Dict[str, object]] = {}
-    for profile in spec_profiles():
-        trace = generate_trace(profile, uops, seed=seed)
-        runs[profile.name] = {
-            cfg.name: run_trace(cfg, trace) for cfg in configs
-        }
-    return configs, runs
+                      configs: Optional[List[CoreConfig]] = None,
+                      engine: Optional[ExperimentEngine] = None):
+    """Simulate every SPEC app on every single-core config.
+
+    Delegates to the shared engine: results are cached by content key, so
+    figures 6, 7 and 8 calling this with the same arguments pay for the
+    sweep once, and ``--jobs`` fans the pairs across processes.
+    """
+    engine = engine if engine is not None else get_engine()
+    return engine.single_core_runs(uops, seed=seed, configs=configs)
 
 
 def figure6(uops: int = SINGLE_CORE_UOPS, seed: int = 1234) -> FigureSeries:
@@ -133,15 +132,10 @@ def figure8(uops: int = SINGLE_CORE_UOPS, seed: int = 1234,
     return FigureSeries("Figure 8: peak temperature (C)", apps, values)
 
 
-def _multicore_runs(total_uops: int, seed: int):
-    configs = multicore_configs()
-    runs: Dict[str, Dict[str, object]] = {}
-    for profile in parallel_profiles():
-        runs[profile.name] = {
-            cfg.name: run_parallel(cfg, profile, total_uops, seed=seed)
-            for cfg in configs
-        }
-    return configs, runs
+def _multicore_runs(total_uops: int, seed: int,
+                    engine: Optional[ExperimentEngine] = None):
+    engine = engine if engine is not None else get_engine()
+    return engine.multicore_runs(total_uops, seed=seed)
 
 
 def figure9(total_uops: int = MULTICORE_UOPS, seed: int = 1234) -> FigureSeries:

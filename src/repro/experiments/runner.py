@@ -8,8 +8,10 @@ for eyeballing model-vs-paper agreement after a change.
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
+from repro import engine
 from repro.experiments import figures, tables
 
 
@@ -47,14 +49,24 @@ def main() -> None:
                         help="total micro-ops per multicore run")
     parser.add_argument("--tables-only", action="store_true")
     parser.add_argument("--figures-only", action="store_true")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="worker processes for simulation sweeps "
+                             "(1 = serial; results are identical either way)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persist simulation results here; a warm cache "
+                             "skips every simulation on the next run")
     args = parser.parse_args()
+
+    engine.configure(jobs=args.jobs, cache_dir=args.cache_dir)
 
     started = time.time()
     if not args.figures_only:
         run_tables()
     if not args.tables_only:
         run_figures(args.uops, args.multicore_uops)
-    print(f"\nTotal experiment time: {time.time() - started:.1f}s")
+    stats = engine.get_engine().cache.stats
+    print(f"\nTotal experiment time: {time.time() - started:.1f}s "
+          f"(cache: {stats.hits} hits, {stats.misses} misses)")
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ applications across six configurations in pure Python.
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.core.configs import CoreConfig
@@ -41,6 +42,20 @@ FRONT_END_DEPTH = 5
 
 #: Micro-ops per instruction-fetch block (one IL1 access per block).
 FETCH_BLOCK_UOPS = 8
+
+#: Micro-ops between prunes of the per-cycle occupancy maps; keeps the
+#: issue/FU bookkeeping bounded on arbitrarily long traces.
+PRUNE_INTERVAL = 4096
+
+#: Total occupancy-map entries (issue + FU pools) at the end of the most
+#: recent :meth:`OutOfOrderCore.run`; read via :func:`last_tracked_cycles`
+#: by the benchmark to show the pruning keeps bookkeeping bounded.
+_LAST_TRACKED_CYCLES = 0
+
+
+def last_tracked_cycles() -> int:
+    """Occupancy-map entries left after the most recent run (bench hook)."""
+    return _LAST_TRACKED_CYCLES
 
 
 @dataclasses.dataclass
@@ -131,6 +146,20 @@ class _PerCycleBandwidth:
         used[cycle] = used.get(cycle, 0) + 1
         return cycle
 
+    def prune(self, watermark: int) -> None:
+        """Forget occupancy below ``watermark``.  Callers only ever probe
+        cycles >= their ``earliest``, and every future ``earliest`` is at
+        least the (monotonic) rename cycle — so entries below it are dead
+        weight on long traces."""
+        used = self._used
+        for cycle in [c for c in used if c < watermark]:
+            del used[cycle]
+
+    @property
+    def tracked_cycles(self) -> int:
+        """Number of cycle entries currently held (bench introspection)."""
+        return len(self._used)
+
 
 class _FuPool:
     """A pool of identical units with out-of-order, per-cycle occupancy.
@@ -147,12 +176,31 @@ class _FuPool:
         """First cycle >= earliest where a unit can accept the op."""
         cycle = earliest
         used = self._used
+        count = self._count
+        used_get = used.get
+        if busy == 1:  # pipelined units: the common, cheap case
+            while used_get(cycle, 0) >= count:
+                cycle += 1
+            used[cycle] = used_get(cycle, 0) + 1
+            return cycle
         while True:
-            if all(used.get(cycle + k, 0) < self._count for k in range(busy)):
+            if all(used_get(cycle + k, 0) < count for k in range(busy)):
                 for k in range(busy):
-                    used[cycle + k] = used.get(cycle + k, 0) + 1
+                    used[cycle + k] = used_get(cycle + k, 0) + 1
                 return cycle
             cycle += 1
+
+    def prune(self, watermark: int) -> None:
+        """Forget occupancy below ``watermark`` (see
+        :meth:`_PerCycleBandwidth.prune`)."""
+        used = self._used
+        for cycle in [c for c in used if c < watermark]:
+            del used[cycle]
+
+    @property
+    def tracked_cycles(self) -> int:
+        """Number of cycle entries currently held (bench introspection)."""
+        return len(self._used)
 
 
 class OutOfOrderCore:
@@ -224,85 +272,179 @@ class OutOfOrderCore:
         load_extra = cfg.load_to_use_cycles - 4  # 0 in 2D, -1 in 3D designs
         refill = max(1, cfg.branch_mispredict_cycles - FRONT_END_DEPTH)
 
+        # In-flight loads/stores by uop index: entry [0] is the op whose
+        # commit frees the queue slot the incoming op needs.
+        lq_inflight: deque = deque(maxlen=cfg.lq_entries)
+        sq_inflight: deque = deque(maxlen=cfg.sq_entries)
+
+        # Hot-loop locals: attribute/global lookups hoisted out of the
+        # per-uop path (the full runner spends most of its time here).
+        rob_entries = cfg.rob_entries
+        iq_entries = cfg.iq_entries
+        lq_entries = cfg.lq_entries
+        sq_entries = cfg.sq_entries
+        il1_cycles = cfg.il1_cycles
+        hetero = cfg.hetero
+        noc_penalty = self.noc_penalty
+        cache_fetch = self.caches.fetch
+        data_access = self.caches.data_access
+        predict_and_train = self.predictor.predict_and_train
+        fetch_alloc = fetch_slots.allocate
+        rename_alloc = rename_slots.allocate
+        issue_alloc = issue_slots.allocate
+        commit_alloc = commit_slots.allocate
+        op_latency = OP_LATENCY
+        LOAD = OpClass.LOAD
+        STORE = OpClass.STORE
+        BRANCH = OpClass.BRANCH
+        COMPLEX = OpClass.COMPLEX
+        SYNC = OpClass.SYNC
+        DIV = OpClass.DIV
+        FP_DIV = OpClass.FP_DIV
+        FP_ADD = OpClass.FP_ADD
+        FP_MUL = OpClass.FP_MUL
+        mem_level_counts = stats.mem_level_counts
+        sync_commit_cycles = stats.sync_commit_cycles
+        loads = stores = branches = mispredictions = 0
+        fp_ops = complex_decodes = ifetch_blocks = 0
+        prune_at = PRUNE_INTERVAL
+        rename = 0
+
         for i, uop in enumerate(ops):
+            op = uop.op
             # ---- fetch -----------------------------------------------------
             if i % FETCH_BLOCK_UOPS == 0:
-                stats.ifetch_blocks += 1
-                access = self.caches.fetch(uop.pc if uop.pc else i * 4)
-                penalty = max(0, access.latency - cfg.il1_cycles)
-                fetch_block_ready = max(fetch_block_ready, redirect_free) + penalty
-            fetch = fetch_slots.allocate(max(fetch_block_ready, redirect_free))
+                ifetch_blocks += 1
+                access = cache_fetch(uop.pc if uop.pc else i * 4)
+                penalty = access.latency - il1_cycles
+                base = fetch_block_ready
+                if redirect_free > base:
+                    base = redirect_free
+                fetch_block_ready = base + (penalty if penalty > 0 else 0)
+            fetch = fetch_alloc(
+                fetch_block_ready
+                if fetch_block_ready >= redirect_free
+                else redirect_free
+            )
 
             # ---- rename/dispatch: ROB/IQ/LQ/SQ occupancy ---------------------
             earliest = fetch + FRONT_END_DEPTH
-            if i >= cfg.rob_entries:
-                earliest = max(earliest, commit_at[i - cfg.rob_entries])
-            if i >= cfg.iq_entries:
-                earliest = max(earliest, issue_at[i - cfg.iq_entries])
-            if uop.op is OpClass.LOAD and stats.loads >= cfg.lq_entries:
-                earliest = max(earliest, commit_at[i - cfg.lq_entries])
-            if uop.op is OpClass.STORE and stats.stores >= cfg.sq_entries:
-                earliest = max(earliest, commit_at[i - cfg.sq_entries])
-            if uop.op is OpClass.COMPLEX:
-                stats.complex_decodes += 1
-                if cfg.hetero:
+            if i >= rob_entries:
+                gate = commit_at[i - rob_entries]
+                if gate > earliest:
+                    earliest = gate
+            if i >= iq_entries:
+                gate = issue_at[i - iq_entries]
+                if gate > earliest:
+                    earliest = gate
+            if op is LOAD:
+                # Queue-full stall: gated on the commit of the N-th
+                # previous *load* (the op whose LQ slot this one takes),
+                # not of the uop N positions back in program order.
+                if len(lq_inflight) == lq_entries:
+                    gate = commit_at[lq_inflight[0]]
+                    if gate > earliest:
+                        earliest = gate
+                lq_inflight.append(i)
+            elif op is STORE:
+                if len(sq_inflight) == sq_entries:
+                    gate = commit_at[sq_inflight[0]]
+                    if gate > earliest:
+                        earliest = gate
+                sq_inflight.append(i)
+            elif op is COMPLEX:
+                complex_decodes += 1
+                if hetero:
                     # Complex decoder lives in the top layer: +1 cycle
                     # (Section 4.1.2); rare, so the IPC cost is small.
                     earliest += 1
-            rename = rename_slots.allocate(earliest)
+            rename = rename_alloc(earliest)
 
             # ---- register readiness ----------------------------------------
             ready = rename + 1
-            for dist in (uop.src1, uop.src2):
-                if dist is not None and dist <= i:
-                    ready = max(ready, completion[i - dist])
+            dist = uop.src1
+            if dist is not None and dist <= i:
+                produced = completion[i - dist]
+                if produced > ready:
+                    ready = produced
+            dist = uop.src2
+            if dist is not None and dist <= i:
+                produced = completion[i - dist]
+                if produced > ready:
+                    ready = produced
 
             # ---- issue -----------------------------------------------------
-            if uop.op is OpClass.FP_DIV:
-                ready = max(ready, last_fp_div_issue + FP_DIV_ISSUE_INTERVAL)
-            latency = OP_LATENCY[uop.op]
+            if op is FP_DIV:
+                refractory = last_fp_div_issue + FP_DIV_ISSUE_INTERVAL
+                if refractory > ready:
+                    ready = refractory
+            latency = op_latency[op]
             # Table 9: adds/multiplies are fully pipelined (issue every
             # cycle); only the divide units block for their full latency.
-            busy = latency if uop.op in (OpClass.DIV, OpClass.FP_DIV) else 1
-            start = pools[uop.op].reserve(ready, busy)
-            issue = issue_slots.allocate(start)
+            busy = latency if (op is DIV or op is FP_DIV) else 1
+            start = pools[op].reserve(ready, busy)
+            issue = issue_alloc(start)
             issue_at[i] = issue
-            if uop.op is OpClass.FP_DIV:
+            if op is FP_DIV:
                 last_fp_div_issue = issue
 
             # ---- execute ---------------------------------------------------
             done = issue + latency
-            if uop.op is OpClass.LOAD:
-                stats.loads += 1
-                access = self.caches.data_access(
-                    uop.address, is_store=False, noc_penalty=self.noc_penalty
+            if op is LOAD:
+                loads += 1
+                access = data_access(
+                    uop.address, is_store=False, noc_penalty=noc_penalty
                 )
                 level = access.level
-                stats.mem_level_counts[level] = (
-                    stats.mem_level_counts.get(level, 0) + 1
-                )
+                mem_level_counts[level] = mem_level_counts.get(level, 0) + 1
                 done = issue + access.latency + load_extra
-            elif uop.op is OpClass.STORE:
-                stats.stores += 1
-                self.caches.data_access(
-                    uop.address, is_store=True, noc_penalty=self.noc_penalty
+            elif op is STORE:
+                stores += 1
+                data_access(
+                    uop.address, is_store=True, noc_penalty=noc_penalty
                 )
-            elif uop.op is OpClass.BRANCH:
-                stats.branches += 1
-                correct = self.predictor.predict_and_train(uop.pc, uop.taken)
+            elif op is BRANCH:
+                branches += 1
+                correct = predict_and_train(uop.pc, uop.taken)
                 if not correct:
-                    stats.mispredictions += 1
-                    redirect_free = max(redirect_free, done + refill)
-            if uop.op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV):
-                stats.fp_ops += 1
+                    mispredictions += 1
+                    if done + refill > redirect_free:
+                        redirect_free = done + refill
+            elif op is FP_ADD or op is FP_MUL:
+                fp_ops += 1
+            if op is FP_DIV:
+                fp_ops += 1
             completion[i] = done
 
             # ---- commit ----------------------------------------------------
             prev_commit = commit_at[i - 1] if i else 0
-            commit_at[i] = commit_slots.allocate(max(done + 1, prev_commit))
-            if uop.op is OpClass.SYNC:
-                stats.sync_commit_cycles.append(commit_at[i])
+            commit_at[i] = commit_alloc(
+                done + 1 if done + 1 > prev_commit else prev_commit
+            )
+            if op is SYNC:
+                sync_commit_cycles.append(commit_at[i])
 
+            # ---- bookkeeping: bound the per-cycle occupancy maps -----------
+            if i >= prune_at:
+                prune_at = i + PRUNE_INTERVAL
+                # Every future allocation probes cycles >= rename (rename
+                # is monotonic and every later stage starts at ready >=
+                # rename + 1), so earlier entries are unreachable.
+                issue_slots.prune(rename)
+                for pool in pools.values():
+                    pool.prune(rename)
+
+        global _LAST_TRACKED_CYCLES
+        _LAST_TRACKED_CYCLES = issue_slots.tracked_cycles + sum(
+            pool.tracked_cycles for pool in pools.values()
+        )
+        stats.loads = loads
+        stats.stores = stores
+        stats.branches = branches
+        stats.mispredictions = mispredictions
+        stats.fp_ops = fp_ops
+        stats.complex_decodes = complex_decodes
+        stats.ifetch_blocks = ifetch_blocks
         stats.uops = n
         stats.cycles = commit_at[-1] if n else 0
         return SimResult(

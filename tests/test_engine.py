@@ -1,0 +1,183 @@
+"""Tests for the shared experiment engine (cache + sweep runner)."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.configs import base_config, m3d_het_config, single_core_configs
+from repro.engine import (
+    ExperimentEngine,
+    ResultCache,
+    SimSpec,
+    code_fingerprint,
+    make_key,
+)
+from repro.engine.sweep import configure, get_engine
+from repro.workloads.spec import spec_profiles
+
+UOPS = 600
+
+
+def _profiles(n=2):
+    return spec_profiles()[:n]
+
+
+def _configs(n=2):
+    return single_core_configs()[:n]
+
+
+class TestCacheKeys:
+    def test_fingerprint_is_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+    def test_key_includes_all_inputs(self):
+        profile = _profiles(1)[0]
+        spec = SimSpec("single", base_config(), profile, UOPS, seed=1)
+        assert spec.cache_key() == spec.cache_key()
+        variants = [
+            SimSpec("single", m3d_het_config(), profile, UOPS, seed=1),
+            SimSpec("single", base_config(), profile, UOPS + 1, seed=1),
+            SimSpec("single", base_config(), profile, UOPS, seed=2),
+            SimSpec("multicore", base_config(), profile, UOPS, seed=1),
+        ]
+        keys = {spec.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == 5  # every input perturbs the key
+
+    def test_key_sensitive_to_profile(self):
+        a, b = _profiles(2)
+        cfg = base_config()
+        assert (
+            SimSpec("single", cfg, a, UOPS).cache_key()
+            != SimSpec("single", cfg, b, UOPS).cache_key()
+        )
+
+    def test_make_key_rejects_unkeyable_values(self):
+        with pytest.raises(TypeError):
+            make_key("bad", value=object())
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimSpec("both", base_config(), _profiles(1)[0], UOPS)
+
+
+class TestResultCache:
+    def test_memory_roundtrip(self):
+        cache = ResultCache()
+        hit, _ = cache.get("k")
+        assert not hit
+        cache.put("k", {"x": 1})
+        hit, value = cache.get("k")
+        assert hit and value == {"x": 1}
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_disk_roundtrip(self, tmp_path):
+        first = ResultCache(tmp_path)
+        first.put("deadbeef", [1, 2, 3])
+        second = ResultCache(tmp_path)  # fresh memory, same directory
+        hit, value = second.get("deadbeef")
+        assert hit and value == [1, 2, 3]
+        assert second.stats.disk_hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("deadbeef", [1])
+        path = cache._path("deadbeef")
+        path.write_bytes(b"not a pickle")
+        fresh = ResultCache(tmp_path)
+        hit, _ = fresh.get("deadbeef")
+        assert not hit
+        assert not path.exists()  # the bad entry was dropped
+
+    def test_memory_eviction_keeps_recent(self):
+        cache = ResultCache(max_memory_entries=8)
+        for i in range(9):
+            cache.put(f"k{i}", i)
+        hit, value = cache.get("k8")
+        assert hit and value == 8
+        hit, _ = cache.get("k0")
+        assert not hit  # oldest quarter evicted
+
+
+class TestEngineExecution:
+    def test_cached_rerun_identical_and_free(self):
+        engine = ExperimentEngine(jobs=1)
+        configs, fresh = engine.single_core_runs(
+            UOPS, configs=_configs(), profiles=_profiles()
+        )
+        sims = engine.cache.stats.stores
+        assert sims == len(_configs()) * len(_profiles())
+        _, cached = engine.single_core_runs(
+            UOPS, configs=_configs(), profiles=_profiles()
+        )
+        assert engine.cache.stats.stores == sims  # nothing re-simulated
+        for app in fresh:
+            for name in fresh[app]:
+                assert cached[app][name].cycles == fresh[app][name].cycles
+                assert cached[app][name].stats == fresh[app][name].stats
+
+    def test_parallel_matches_serial(self):
+        serial = ExperimentEngine(jobs=1)
+        parallel = ExperimentEngine(jobs=4)
+        _, expected = serial.single_core_runs(
+            UOPS, configs=_configs(), profiles=_profiles()
+        )
+        _, actual = parallel.single_core_runs(
+            UOPS, configs=_configs(), profiles=_profiles()
+        )
+        assert list(actual) == list(expected)  # deterministic ordering
+        for app in expected:
+            for name in expected[app]:
+                assert actual[app][name].cycles == expected[app][name].cycles
+                assert actual[app][name].stats == expected[app][name].stats
+
+    def test_warm_disk_cache_skips_all_simulation(self, tmp_path):
+        first = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        _, expected = first.single_core_runs(
+            UOPS, configs=_configs(), profiles=_profiles()
+        )
+        second = ExperimentEngine(jobs=1, cache_dir=tmp_path)
+        _, warmed = second.single_core_runs(
+            UOPS, configs=_configs(), profiles=_profiles()
+        )
+        assert second.cache.stats.misses == 0
+        assert second.cache.stats.stores == 0
+        for app in expected:
+            for name in expected[app]:
+                assert warmed[app][name].cycles == expected[app][name].cycles
+
+    def test_single_simulation_is_cached(self):
+        engine = ExperimentEngine(jobs=1)
+        profile = _profiles(1)[0]
+        first = engine.simulate(base_config(), profile, UOPS)
+        second = engine.simulate(base_config(), profile, UOPS)
+        assert first.cycles == second.cycles
+        assert engine.cache.stats.stores == 1
+
+    def test_results_survive_pickling(self):
+        engine = ExperimentEngine(jobs=1)
+        result = engine.simulate(base_config(), _profiles(1)[0], UOPS)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.cycles == result.cycles
+        assert clone.stats == result.stats
+
+    def test_cache_dir_and_cache_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ExperimentEngine(cache=ResultCache(), cache_dir=tmp_path)
+
+
+class TestDefaultEngine:
+    def test_configure_replaces_engine(self):
+        original = get_engine()
+        try:
+            replaced = configure(jobs=3)
+            assert get_engine() is replaced
+            assert replaced.jobs == 3
+            kept = configure(cache_dir=None)
+            assert kept.jobs == 3  # jobs=None keeps the previous setting
+        finally:
+            import repro.engine.sweep as sweep
+
+            sweep._default_engine = original
