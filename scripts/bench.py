@@ -37,12 +37,19 @@ import os
 import platform
 import sys
 import tempfile
-import time
 from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import (  # noqa: E402  (path set up above)
+    build_manifest,
+    drain_spans,
+    metrics_path,
+    timer,
+    write_manifest,
+)
 
 #: Seed-commit wall-clock of ``python -m repro.experiments.runner`` at
 #: default sizes on the reference container (measured before the engine
@@ -50,16 +57,19 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 SEED_RUNNER_SECONDS = 175.3
 
 
-def _silent(fn, *args, **kwargs):
-    """Run fn with stdout swallowed; return (seconds, result)."""
+def _silent(name, fn, *args, **kwargs):
+    """Run fn with stdout swallowed under a named :func:`repro.obs.timer`
+    span; return (seconds, result)."""
     sink = io.StringIO()
-    start = time.perf_counter()
     with contextlib.redirect_stdout(sink):
-        result = fn(*args, **kwargs)
-    return time.perf_counter() - start, result
+        with timer(name) as span:
+            result = fn(*args, **kwargs)
+    return span.seconds, result
 
 
-def bench_runner(uops: int, multicore_uops: int, quick: bool) -> dict:
+def bench_runner(uops: int, multicore_uops: int, quick: bool) -> tuple:
+    """Return ``(record, cold_engine)``; the cold engine's telemetry
+    (per-spec timings, stall aggregation) feeds the run manifest."""
     from repro import engine
     from repro.experiments.runner import run_figures, run_tables
 
@@ -69,18 +79,19 @@ def bench_runner(uops: int, multicore_uops: int, quick: bool) -> dict:
 
     # Cold: fresh engine, nothing cached anywhere.
     engine.configure(jobs=1, cache_dir=None)
-    cold_seconds, _ = _silent(full_report)
+    cold_seconds, _ = _silent("runner.cold", full_report)
+    cold_engine = engine.get_engine()
 
     # Warm memory: same engine, same process.
-    warm_memory_seconds, _ = _silent(full_report)
+    warm_memory_seconds, _ = _silent("runner.warm_memory", full_report)
 
     # Warm disk: populate a cache directory, then start a fresh engine
     # (empty memory) pointed at it — every result must come from disk.
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         engine.configure(jobs=1, cache_dir=tmp)
-        _silent(full_report)
+        _silent("runner.populate_disk", full_report)
         engine.configure(jobs=1, cache_dir=tmp)
-        warm_disk_seconds, _ = _silent(full_report)
+        warm_disk_seconds, _ = _silent("runner.warm_disk", full_report)
         warm_disk_misses = engine.get_engine().cache.stats.misses
     engine.configure(jobs=1, cache_dir=None)
 
@@ -97,7 +108,7 @@ def bench_runner(uops: int, multicore_uops: int, quick: bool) -> dict:
         # --quick run against it would be meaningless.
         record["seed_baseline_seconds"] = SEED_RUNNER_SECONDS
         record["speedup_vs_seed"] = round(SEED_RUNNER_SECONDS / cold_seconds, 2)
-    return record
+    return record, cold_engine
 
 
 def bench_thermal(grid: int, solves: int) -> dict:
@@ -120,21 +131,21 @@ def bench_thermal(grid: int, solves: int) -> dict:
             maps[index] = [[density] * grid for _ in range(grid)]
         cases.append((stack, maps))
 
-    start = time.perf_counter()
-    reference = [
-        solve_stack_reference(stack, maps, chip_area, grid=grid)
-        for stack, maps in cases
-        for _ in range(solves)
-    ]
-    reference_seconds = time.perf_counter() - start
+    with timer("thermal.reference") as reference_span:
+        reference = [
+            solve_stack_reference(stack, maps, chip_area, grid=grid)
+            for stack, maps in cases
+            for _ in range(solves)
+        ]
+    reference_seconds = reference_span.seconds
 
-    start = time.perf_counter()
-    fast = [
-        solve_stack(stack, maps, chip_area, grid=grid)
-        for stack, maps in cases
-        for _ in range(solves)
-    ]
-    fast_seconds = time.perf_counter() - start
+    with timer("thermal.fast") as fast_span:
+        fast = [
+            solve_stack(stack, maps, chip_area, grid=grid)
+            for stack, maps in cases
+            for _ in range(solves)
+        ]
+    fast_seconds = fast_span.seconds
 
     max_diff = max(
         float(np.abs(a.temperatures - b.temperatures).max())
@@ -163,17 +174,17 @@ def bench_limiter(uops: int) -> dict:
 
     original_interval = ooo.PRUNE_INTERVAL
 
-    def run_once():
-        start = time.perf_counter()
-        result = ooo.run_trace(config, trace)
-        return time.perf_counter() - start, result
+    def run_once(name):
+        with timer(name) as span:
+            result = ooo.run_trace(config, trace)
+        return span.seconds, result
 
     try:
         ooo.PRUNE_INTERVAL = 1 << 62  # pruning never triggers
-        unbounded_seconds, unbounded = run_once()
+        unbounded_seconds, unbounded = run_once("limiter.unbounded")
         unbounded_cycles = ooo.last_tracked_cycles()
         ooo.PRUNE_INTERVAL = original_interval
-        bounded_seconds, bounded = run_once()
+        bounded_seconds, bounded = run_once("limiter.bounded")
         bounded_cycles = ooo.last_tracked_cycles()
     finally:
         ooo.PRUNE_INTERVAL = original_interval
@@ -197,6 +208,9 @@ def main() -> None:
                         help="small sizes for CI smoke runs")
     parser.add_argument("--output", default=None,
                         help="output path (default: BENCH_<timestamp>.json)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a schema-versioned run manifest (JSON) "
+                             "here; $REPRO_METRICS sets the default")
     args = parser.parse_args()
 
     if args.quick:
@@ -218,8 +232,9 @@ def main() -> None:
     }
     print(f"benchmarking runner (uops={sizes['uops']}, "
           f"multicore_uops={sizes['multicore_uops']}) ...")
-    record["runner"] = bench_runner(sizes["uops"], sizes["multicore_uops"],
-                                    args.quick)
+    record["runner"], cold_engine = bench_runner(
+        sizes["uops"], sizes["multicore_uops"], args.quick
+    )
     print(f"  cold {record['runner']['cold_seconds']}s, "
           f"warm-memory {record['runner']['warm_memory_seconds']}s, "
           f"warm-disk {record['runner']['warm_disk_seconds']}s "
@@ -245,6 +260,17 @@ def main() -> None:
         out = REPO_ROOT / f"BENCH_{stamp}.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out}")
+
+    destination = metrics_path(args.metrics_out)
+    if destination:
+        mode = "--quick" if args.quick else "full"
+        manifest = build_manifest(
+            command=f"scripts/bench.py {mode}",
+            engine=cold_engine,
+            timers=drain_spans(),
+        )
+        write_manifest(manifest, destination)
+        print(f"wrote manifest {destination}")
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ import sys
 
 from repro import engine
 from repro.core.structures import structures_by_name
+from repro.obs import build_manifest, metrics_path, write_manifest
 from repro.experiments import figures as figmod
 from repro.experiments import tables as tabmod
 from repro.experiments.tables import print_rows
@@ -128,32 +129,53 @@ def main(argv=None) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="persist simulation results here; a warm cache "
                              "skips every simulation on the next run")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a schema-versioned run manifest (JSON) "
+                             "here; $REPRO_METRICS sets the default")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("partition", help="partition one structure")
-    p.add_argument("structure", help="RF/IQ/... or WORDSxBITS[xPORTS]")
-    p.set_defaults(func=cmd_partition)
+    def add_command(name, func, help_text, *positionals):
+        p = sub.add_parser(name, help=help_text)
+        for positional, help_line in positionals:
+            p.add_argument(positional, help=help_line)
+        # Accept --metrics-out after the subcommand too; SUPPRESS keeps a
+        # value parsed before the subcommand from being clobbered by the
+        # subparser's default.
+        p.add_argument("--metrics-out", default=argparse.SUPPRESS,
+                       metavar="PATH", help=argparse.SUPPRESS)
+        p.set_defaults(func=func)
+        return p
 
-    p = sub.add_parser("frequencies", help="derived Table 11 frequencies")
-    p.set_defaults(func=cmd_frequencies)
+    add_command("partition", cmd_partition, "partition one structure",
+                ("structure", "RF/IQ/... or WORDSxBITS[xPORTS]"))
+    add_command("frequencies", cmd_frequencies,
+                "derived Table 11 frequencies")
+    add_command("table", cmd_table, "regenerate one paper table",
+                ("number", "table number"))
+    add_command("figure", cmd_figure, "regenerate one paper figure",
+                ("number", "figure number"))
+    add_command("report", cmd_report, "regenerate everything")
 
-    p = sub.add_parser("table", help="regenerate one paper table")
-    p.add_argument("number")
-    p.set_defaults(func=cmd_table)
+    raw = list(argv if argv is not None else sys.argv[1:])
+    # Convenience spellings: "figure6" == "figure 6", "table11" == "table 11".
+    tokens = []
+    for token in raw:
+        match = re.fullmatch(r"(figure|table)(\d+)", token)
+        tokens.extend([match.group(1), match.group(2)] if match else [token])
 
-    p = sub.add_parser("figure", help="regenerate one paper figure")
-    p.add_argument("number")
-    p.set_defaults(func=cmd_figure)
-
-    p = sub.add_parser("report", help="regenerate everything")
-    p.set_defaults(func=cmd_report)
-
-    args = parser.parse_args(argv)
+    args = parser.parse_args(tokens)
     if args.jobs != 1 or args.cache_dir is not None:
         # Replacing the engine drops its in-memory layer, so only do it
         # when the invocation actually asks for a different setup.
         engine.configure(jobs=args.jobs, cache_dir=args.cache_dir)
     args.func(args)
+
+    destination = metrics_path(getattr(args, "metrics_out", None))
+    if destination:
+        write_manifest(
+            build_manifest(command="repro " + " ".join(raw)), destination
+        )
+        print(f"wrote manifest {destination}")
 
 
 if __name__ == "__main__":

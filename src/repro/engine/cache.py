@@ -24,6 +24,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
@@ -81,6 +82,10 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Disk writes that failed (full disk, read-only directory, ...);
+    #: each one degraded that store to memory-only instead of aborting
+    #: the sweep.
+    disk_put_failures: int = 0
 
     @property
     def hits(self) -> int:
@@ -96,6 +101,7 @@ class ResultCache:
         self.max_memory_entries = max_memory_entries
         self._memory: dict = {}
         self.stats = CacheStats()
+        self._disk_warned = False
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -123,25 +129,45 @@ class ResultCache:
         return False, None
 
     def put(self, key: str, value: Any) -> None:
-        """Store a result in memory and (if configured) on disk."""
+        """Store a result in memory and (if configured) on disk.
+
+        Disk failures (full disk, read-only cache directory, ...) must
+        not kill an otherwise-healthy sweep: the store degrades to
+        memory-only with a one-time warning, and every failed write is
+        counted in ``stats.disk_put_failures``.
+        """
         self.stats.stores += 1
         self._remember(key, value)
         if self.cache_dir is not None:
-            path = self._path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Atomic publish: a concurrent reader sees either nothing or a
-            # complete pickle, never a partial write.
-            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                self._put_disk(key, value)
+            except OSError as exc:
+                self.stats.disk_put_failures += 1
+                if not self._disk_warned:
+                    self._disk_warned = True
+                    warnings.warn(
+                        f"result cache: disk write to {self.cache_dir} "
+                        f"failed ({exc}); continuing memory-only",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+
+    def _put_disk(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a concurrent reader sees either nothing or a
+        # complete pickle, never a partial write.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""

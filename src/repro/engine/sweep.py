@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -28,6 +29,7 @@ from repro.core.configs import (
     single_core_configs,
 )
 from repro.engine.cache import ResultCache, make_key
+from repro.obs.telemetry import EngineTelemetry
 from repro.uarch.multicore import MulticoreResult, run_parallel
 from repro.uarch.ooo import SimResult, run_trace
 from repro.workloads.generator import generate_trace
@@ -68,12 +70,15 @@ class SimSpec:
 
 #: Per-process trace memo: every configuration sweeping the same app reuses
 #: one generated trace (bounded; traces are a few MB each at most).
-_TRACE_MEMO: "OrderedDict[Tuple[str, int, int], object]" = OrderedDict()
+#: Keys are content keys over the *full* profile — two profiles that share
+#: a name but differ in any field (ablation sweeps build such variants
+#: with ``dataclasses.replace``) must never share a trace.
+_TRACE_MEMO: "OrderedDict[str, object]" = OrderedDict()
 _TRACE_MEMO_CAP = 8
 
 
 def _trace_for(profile: AppProfile, uops: int, seed: int):
-    key = (profile.name, uops, seed)
+    key = make_key("trace", profile=profile, uops=uops, seed=seed)
     trace = _TRACE_MEMO.get(key)
     if trace is None:
         trace = generate_trace(profile, uops, seed=seed)
@@ -93,6 +98,13 @@ def execute_spec(spec: SimSpec):
     return run_parallel(spec.config, spec.profile, spec.uops, seed=spec.seed)
 
 
+def _timed_execute_spec(spec: SimSpec):
+    """Worker-side wrapper: (result, wall seconds) for one spec."""
+    start = time.perf_counter()
+    result = execute_spec(spec)
+    return result, time.perf_counter() - start
+
+
 # -- the engine ---------------------------------------------------------------
 
 class ExperimentEngine:
@@ -105,6 +117,7 @@ class ExperimentEngine:
             raise ValueError("pass either cache or cache_dir, not both")
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else ResultCache(cache_dir)
+        self.telemetry = EngineTelemetry()
 
     # -- batch execution ------------------------------------------------------
 
@@ -113,8 +126,11 @@ class ExperimentEngine:
 
         Cached specs are served without simulating; the misses run inline
         (``jobs == 1``) or across a process pool, and are inserted into
-        the cache for the sweeps that follow.
+        the cache for the sweeps that follow.  Every batch leaves a
+        record in :attr:`telemetry` (hit/miss split, per-spec wall time,
+        aggregated pipeline stall counters).
         """
+        batch_start = time.perf_counter()
         keys = [spec.cache_key() for spec in specs]
         results: List[object] = [None] * len(specs)
         missing: List[int] = []
@@ -124,21 +140,51 @@ class ExperimentEngine:
                 results[index] = value
             else:
                 missing.append(index)
-        if not missing:
-            return results
-        if self.jobs > 1 and len(missing) > 1:
-            workers = min(self.jobs, len(missing))
-            chunk = max(1, len(missing) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(
-                    pool.map(execute_spec, [specs[i] for i in missing],
-                             chunksize=chunk)
-                )
-        else:
-            fresh = [execute_spec(specs[i]) for i in missing]
-        for index, value in zip(missing, fresh):
-            results[index] = value
-            self.cache.put(keys[index], value)
+        workers = 1
+        durations: Dict[int, float] = {}
+        if missing:
+            if self.jobs > 1 and len(missing) > 1:
+                workers = min(self.jobs, len(missing))
+                chunk = max(1, len(missing) // (workers * 4))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    timed = list(
+                        pool.map(_timed_execute_spec,
+                                 [specs[i] for i in missing],
+                                 chunksize=chunk)
+                    )
+                fresh = [result for result, _ in timed]
+                for index, (_, seconds) in zip(missing, timed):
+                    durations[index] = seconds
+            else:
+                fresh = []
+                for index in missing:
+                    result, seconds = _timed_execute_spec(specs[index])
+                    fresh.append(result)
+                    durations[index] = seconds
+            for index, value in zip(missing, fresh):
+                results[index] = value
+                self.cache.put(keys[index], value)
+        telemetry = self.telemetry
+        telemetry.record_batch(
+            specs=len(specs),
+            hits=len(specs) - len(missing),
+            misses=len(missing),
+            seconds=time.perf_counter() - batch_start,
+            workers=workers,
+        )
+        missing_set = set(missing)
+        for index, (spec, key) in enumerate(zip(specs, keys)):
+            telemetry.record_spec(
+                key=key,
+                mode=spec.mode,
+                config=spec.config.name,
+                profile=spec.profile.name,
+                uops=spec.uops,
+                seed=spec.seed,
+                cached=index not in missing_set,
+                seconds=durations.get(index),
+            )
+            telemetry.observe_result(results[index])
         return results
 
     # -- single results -------------------------------------------------------

@@ -13,6 +13,7 @@ import time
 
 from repro import engine
 from repro.experiments import figures, tables
+from repro.obs import build_manifest, metrics_path, write_manifest
 
 
 def run_tables() -> None:
@@ -55,6 +56,9 @@ def main() -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="persist simulation results here; a warm cache "
                              "skips every simulation on the next run")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a schema-versioned run manifest (JSON) "
+                             "here; $REPRO_METRICS sets the default")
     args = parser.parse_args()
 
     engine.configure(jobs=args.jobs, cache_dir=args.cache_dir)
@@ -67,6 +71,14 @@ def main() -> None:
     stats = engine.get_engine().cache.stats
     print(f"\nTotal experiment time: {time.time() - started:.1f}s "
           f"(cache: {stats.hits} hits, {stats.misses} misses)")
+
+    destination = metrics_path(args.metrics_out)
+    if destination:
+        command = (f"repro.experiments.runner --uops {args.uops} "
+                   f"--multicore-uops {args.multicore_uops} "
+                   f"--jobs {args.jobs}")
+        write_manifest(build_manifest(command=command), destination)
+        print(f"wrote manifest {destination}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,44 @@
+"""Observability layer: run manifests, engine telemetry, named timers.
+
+:mod:`repro.obs` is the reporting surface the rest of the stack threads
+through:
+
+* :func:`~repro.obs.timer.timer` — the one wall-clock primitive
+  (``scripts/bench.py`` and the manifests share its span format);
+* :class:`~repro.obs.telemetry.EngineTelemetry` — per-batch/per-spec
+  execution records plus aggregated pipeline stall attribution, owned by
+  every :class:`~repro.engine.sweep.ExperimentEngine`;
+* :func:`~repro.obs.manifest.build_manifest` /
+  :func:`~repro.obs.manifest.validate_manifest` — schema-versioned JSON
+  run records (``--metrics-out`` / ``$REPRO_METRICS`` on every entry
+  point; ``python -m repro.obs`` validates one from the shell).
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    check_manifest,
+    metrics_path,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.telemetry import BatchRecord, EngineTelemetry, SpecTiming
+from repro.obs.timer import TimerSpan, drain_spans, recorded_spans, timer
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "BatchRecord",
+    "EngineTelemetry",
+    "ManifestError",
+    "SpecTiming",
+    "TimerSpan",
+    "build_manifest",
+    "check_manifest",
+    "drain_spans",
+    "metrics_path",
+    "recorded_spans",
+    "timer",
+    "validate_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,48 @@
+"""Manifest validation from the shell: ``python -m repro.obs m.json ...``.
+
+Exits 0 when every file validates against the current manifest schema,
+1 otherwise (CI gates the benchmark job on this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.obs.manifest import MANIFEST_SCHEMA_VERSION, validate_manifest
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__
+    )
+    parser.add_argument("manifests", nargs="+",
+                        help="manifest JSON files to validate")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for name in args.manifests:
+        path = Path(name)
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: UNREADABLE ({exc})")
+            failures += 1
+            continue
+        problems = validate_manifest(manifest)
+        if problems:
+            print(f"{path}: INVALID ({len(problems)} problems)")
+            for problem in problems:
+                print(f"  - {problem}")
+            failures += 1
+        else:
+            print(f"{path}: ok ({MANIFEST_SCHEMA_VERSION}, "
+                  f"{len(manifest.get('specs', []))} specs, "
+                  f"{len(manifest.get('timers', []))} timers)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

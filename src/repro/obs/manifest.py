@@ -1,0 +1,245 @@
+"""Run manifests: schema-versioned JSON records of what a run did.
+
+Every entry point (``python -m repro``, the experiment runner,
+``scripts/bench.py``) can emit one manifest per invocation via
+``--metrics-out PATH`` or ``$REPRO_METRICS``.  A manifest captures:
+
+* identity — schema version, timestamp, the command line, the source
+  fingerprint the cache keys use, the platform;
+* the engine configuration (jobs, cache directory) and its cache
+  hit/miss/store/failure counters;
+* per-batch and per-spec execution records (what was simulated, what was
+  served from cache, and how long each fresh simulation took);
+* aggregated pipeline telemetry — per-stage stall cycles, activity
+  counters, memory-level histograms — from every result the engine
+  returned;
+* the named :mod:`repro.obs.timer` spans completed during the run.
+
+:func:`validate_manifest` is a dependency-free structural validator
+(``python -m repro.obs <manifest.json>`` runs it from the command line;
+CI fails if the benchmark's manifest does not validate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.timer import TimerSpan, recorded_spans
+
+#: Current manifest schema identifier; bump when the shape changes.
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v1"
+
+
+class ManifestError(ValueError):
+    """Raised by :func:`check_manifest` for a structurally invalid manifest."""
+
+
+# -- construction -------------------------------------------------------------
+
+
+def build_manifest(command: str, engine: Optional[object] = None,
+                   timers: Optional[List[TimerSpan]] = None,
+                   created: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble a manifest for ``engine`` (default: the process engine).
+
+    ``timers`` defaults to every span the process has recorded so far;
+    ``created`` (an ISO timestamp) is stamped automatically when omitted.
+    """
+    # Imported lazily: repro.engine imports repro.obs.telemetry, so a
+    # module-level import here would be circular.
+    import platform
+
+    from repro.engine.cache import code_fingerprint
+
+    if engine is None:
+        from repro.engine.sweep import get_engine
+
+        engine = get_engine()
+    if created is None:
+        from datetime import datetime, timezone
+
+        created = datetime.now(timezone.utc).isoformat()
+    telemetry = engine.telemetry
+    stats = engine.cache.stats
+    cache_dir = engine.cache.cache_dir
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "created": created,
+        "command": command,
+        "code_fingerprint": code_fingerprint(),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "engine": {
+            "jobs": engine.jobs,
+            "cache_dir": str(cache_dir) if cache_dir is not None else None,
+        },
+        "cache": {
+            "memory_hits": stats.memory_hits,
+            "disk_hits": stats.disk_hits,
+            "misses": stats.misses,
+            "stores": stats.stores,
+            "disk_put_failures": stats.disk_put_failures,
+        },
+        "batches": [batch.as_record() for batch in telemetry.batches],
+        "specs": [spec.as_record() for spec in telemetry.spec_timings],
+        "stalls": dict(telemetry.stall_cycles),
+        "counters": dict(telemetry.counters),
+        "mem_level_counts": dict(telemetry.mem_level_counts),
+        "timers": [
+            span.as_record()
+            for span in (timers if timers is not None else recorded_spans())
+        ],
+    }
+
+
+def write_manifest(manifest: Dict[str, Any], path: os.PathLike) -> Path:
+    """Validate ``manifest`` and write it as indented JSON."""
+    check_manifest(manifest)
+    target = Path(path)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def metrics_path(cli_value: Optional[str] = None) -> Optional[str]:
+    """Resolve the manifest destination: CLI flag, else ``$REPRO_METRICS``."""
+    return cli_value or os.environ.get("REPRO_METRICS") or None
+
+
+# -- validation ---------------------------------------------------------------
+
+#: Field -> required type(s) for each nested record (``None`` in a tuple
+#: means the JSON value may be null).
+_PLATFORM_FIELDS = {"python": str, "machine": str, "cpu_count": int}
+_ENGINE_FIELDS = {"jobs": int, "cache_dir": (str, type(None))}
+_CACHE_FIELDS = {
+    "memory_hits": int,
+    "disk_hits": int,
+    "misses": int,
+    "stores": int,
+    "disk_put_failures": int,
+}
+_COUNTER_FIELDS = {
+    "uops": int,
+    "cycles": int,
+    "branches": int,
+    "mispredictions": int,
+    "loads": int,
+    "stores": int,
+}
+_BATCH_FIELDS = {
+    "specs": int,
+    "hits": int,
+    "misses": int,
+    "seconds": (int, float),
+    "workers": int,
+}
+_SPEC_FIELDS = {
+    "key": str,
+    "mode": str,
+    "config": str,
+    "profile": str,
+    "uops": int,
+    "seed": int,
+    "cached": bool,
+    "seconds": (int, float, type(None)),
+}
+_TIMER_FIELDS = {"name": str, "seconds": (int, float)}
+
+
+def _typecheck(value: Any, expected, where: str, problems: List[str]) -> None:
+    kinds = expected if isinstance(expected, tuple) else (expected,)
+    # bool is an int subclass; only accept it where bool is asked for.
+    if isinstance(value, bool) and bool not in kinds:
+        problems.append(f"{where}: expected {kinds}, got bool")
+        return
+    if not isinstance(value, kinds):
+        problems.append(
+            f"{where}: expected {tuple(k.__name__ for k in kinds)}, "
+            f"got {type(value).__name__}"
+        )
+
+
+def _check_record(record: Any, fields: Dict[str, Any], where: str,
+                  problems: List[str]) -> None:
+    if not isinstance(record, dict):
+        problems.append(f"{where}: expected an object, got "
+                        f"{type(record).__name__}")
+        return
+    for name, expected in fields.items():
+        if name not in record:
+            problems.append(f"{where}: missing field {name!r}")
+        else:
+            _typecheck(record[name], expected, f"{where}.{name}", problems)
+
+
+def _check_counter_map(mapping: Any, where: str,
+                       problems: List[str]) -> None:
+    if not isinstance(mapping, dict):
+        problems.append(f"{where}: expected an object, got "
+                        f"{type(mapping).__name__}")
+        return
+    for key, value in mapping.items():
+        _typecheck(key, str, f"{where} key", problems)
+        _typecheck(value, (int, float), f"{where}[{key!r}]", problems)
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and value < 0:
+            problems.append(f"{where}[{key!r}]: negative count {value}")
+
+
+def validate_manifest(manifest: Any) -> List[str]:
+    """Structurally validate a manifest; returns problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(manifest, dict):
+        return [f"manifest: expected an object, got {type(manifest).__name__}"]
+    if manifest.get("schema") != MANIFEST_SCHEMA_VERSION:
+        problems.append(
+            f"schema: expected {MANIFEST_SCHEMA_VERSION!r}, "
+            f"got {manifest.get('schema')!r}"
+        )
+    for field in ("created", "command", "code_fingerprint"):
+        if field not in manifest:
+            problems.append(f"manifest: missing field {field!r}")
+        else:
+            _typecheck(manifest[field], str, field, problems)
+    fingerprint = manifest.get("code_fingerprint")
+    if isinstance(fingerprint, str) and (
+        len(fingerprint) != 64
+        or any(c not in "0123456789abcdef" for c in fingerprint)
+    ):
+        problems.append("code_fingerprint: not a 64-char hex digest")
+    _check_record(manifest.get("platform"), _PLATFORM_FIELDS, "platform",
+                  problems)
+    _check_record(manifest.get("engine"), _ENGINE_FIELDS, "engine", problems)
+    _check_record(manifest.get("cache"), _CACHE_FIELDS, "cache", problems)
+    _check_record(manifest.get("counters"), _COUNTER_FIELDS, "counters",
+                  problems)
+    for section, fields in (("batches", _BATCH_FIELDS),
+                            ("specs", _SPEC_FIELDS),
+                            ("timers", _TIMER_FIELDS)):
+        entries = manifest.get(section)
+        if not isinstance(entries, list):
+            problems.append(f"{section}: expected a list, got "
+                            f"{type(entries).__name__}")
+            continue
+        for index, entry in enumerate(entries):
+            _check_record(entry, fields, f"{section}[{index}]", problems)
+    _check_counter_map(manifest.get("stalls"), "stalls", problems)
+    _check_counter_map(manifest.get("mem_level_counts"), "mem_level_counts",
+                       problems)
+    return problems
+
+
+def check_manifest(manifest: Any) -> None:
+    """Raise :class:`ManifestError` if ``manifest`` fails validation."""
+    problems = validate_manifest(manifest)
+    if problems:
+        raise ManifestError(
+            "invalid manifest: " + "; ".join(problems[:10])
+            + (f" (+{len(problems) - 10} more)" if len(problems) > 10 else "")
+        )

@@ -1,0 +1,56 @@
+"""Named wall-clock spans, shared by the benchmark and the manifests.
+
+``timer("runner.cold")`` measures one region and records a
+:class:`TimerSpan` in a process-wide registry; a manifest built later
+picks the recorded spans up as its ``timers`` section.  This is the one
+timing primitive the repository uses, so ``BENCH_<timestamp>.json`` and
+the run manifests report wall time in exactly the same shape.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Dict, Iterator, List
+
+
+@dataclasses.dataclass
+class TimerSpan:
+    """One timed region: a dotted name and its wall-clock seconds."""
+
+    name: str
+    seconds: float = 0.0
+
+    def as_record(self) -> Dict[str, object]:
+        return {"name": self.name, "seconds": round(self.seconds, 6)}
+
+
+#: Process-wide span registry, in completion order.
+_SPANS: List[TimerSpan] = []
+
+
+@contextlib.contextmanager
+def timer(name: str, record: bool = True) -> Iterator[TimerSpan]:
+    """Time a ``with`` block; the yielded span's ``seconds`` is filled in
+    on exit (and registered for later manifests unless ``record=False``)."""
+    span = TimerSpan(name)
+    start = time.perf_counter()
+    try:
+        yield span
+    finally:
+        span.seconds = time.perf_counter() - start
+        if record:
+            _SPANS.append(span)
+
+
+def recorded_spans() -> List[TimerSpan]:
+    """Every span completed so far (oldest first)."""
+    return list(_SPANS)
+
+
+def drain_spans() -> List[TimerSpan]:
+    """Pop and return the recorded spans (the registry empties)."""
+    spans = list(_SPANS)
+    _SPANS.clear()
+    return spans

@@ -20,7 +20,7 @@ average latency.
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import Dict, List
 
 from repro.core.configs import CoreConfig
 from repro.uarch.cache import CoherenceDirectory
@@ -44,6 +44,10 @@ class MulticoreResult:
     barrier_wait_cycles: int
     coherence_transfers: int
     noc_latency: int
+    #: The ``total_uops`` the caller asked for.  ``actual_uops`` is what
+    #: the cores measured; the two differ only when ``total_uops`` is
+    #: smaller than the core count (each core runs at least one uop).
+    requested_uops: int = 0
 
     @property
     def seconds(self) -> float:
@@ -52,6 +56,21 @@ class MulticoreResult:
     @property
     def total_uops(self) -> int:
         return sum(result.stats.uops for result in self.per_core)
+
+    @property
+    def actual_uops(self) -> int:
+        """Measured uops actually executed across all cores (alias of
+        :attr:`total_uops`, named for requested-vs-actual reporting)."""
+        return self.total_uops
+
+    @property
+    def stall_cycles(self) -> Dict[str, int]:
+        """Per-stage stall attribution summed across the cores."""
+        totals: Dict[str, int] = {}
+        for result in self.per_core:
+            for cause, cycles in result.stats.stall_cycles.items():
+                totals[cause] = totals.get(cause, 0) + cycles
+        return totals
 
     def speedup_over(self, other: "MulticoreResult") -> float:
         """Wall-clock speedup at equal total work."""
@@ -89,13 +108,23 @@ def run_parallel(
     if not profile.is_parallel:
         raise ValueError(f"{profile.name} is not a parallel profile")
     cores = config.num_cores
-    per_core_uops = max(1000, total_uops // cores)
+    # Conserve total work: an even base share with the remainder spread
+    # over the first cores, so the measured uops sum to exactly
+    # ``total_uops`` (the old ``max(1000, total_uops // cores)`` floor
+    # both dropped remainders and inflated tiny sweeps).  Every core
+    # still runs at least one uop, so requests smaller than the core
+    # count round up — ``requested_uops`` vs ``actual_uops`` records it.
+    base_share, remainder = divmod(total_uops, cores)
+    shares = [
+        max(1, base_share + (1 if core_id < remainder else 0))
+        for core_id in range(cores)
+    ]
 
     noc = RingNoc(cores, shared_stops=config.shared_l2)
     coherence = CoherenceDirectory()
     results: List[SimResult] = []
-    for core_id in range(cores):
-        trace = generate_trace(profile, per_core_uops, seed=seed, thread=core_id)
+    for core_id, share in enumerate(shares):
+        trace = generate_trace(profile, share, seed=seed, thread=core_id)
         core = OutOfOrderCore(
             config,
             core_id=core_id,
@@ -124,4 +153,5 @@ def run_parallel(
         barrier_wait_cycles=wait_cycles,
         coherence_transfers=coherence.transfers,
         noc_latency=noc.average_latency,
+        requested_uops=total_uops,
     )

@@ -58,6 +58,23 @@ def last_tracked_cycles() -> int:
     return _LAST_TRACKED_CYCLES
 
 
+#: Stall-attribution categories reported in ``SimStats.stall_cycles``
+#: (every run reports all of them, zero-valued when a cause never bit).
+STALL_CAUSES = (
+    "fetch_icache",    # instruction-cache miss penalty at fetch
+    "fetch_redirect",  # front-end squash after branch mispredictions
+    "rename_bw",       # dispatch/rename bandwidth
+    "rob",             # ROB full (commit of the displaced op gates rename)
+    "iq",              # issue queue full
+    "lq",              # load queue full
+    "sq",              # store queue full
+    "decode",          # complex-decode penalty (hetero top-layer decoder)
+    "operand",         # waiting on producer results (dependence chains)
+    "fu",              # functional-unit structural conflicts
+    "issue_bw",        # issue bandwidth
+)
+
+
 @dataclasses.dataclass
 class SimStats:
     """Activity counters collected during a run (consumed by the power
@@ -77,10 +94,32 @@ class SimStats:
     #: Commit cycle of every SYNC (barrier) marker, for barrier alignment
     #: in the multicore model.
     sync_commit_cycles: List[int] = dataclasses.field(default_factory=list)
+    #: Per-stage stall attribution: cycles each structural constraint
+    #: (fetch/rename/ROB/IQ/LQ/SQ/FU/issue bandwidth) or dependence chain
+    #: delayed uops beyond the unconstrained schedule.  Keys are the
+    #: :data:`STALL_CAUSES` names.
+    stall_cycles: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
         return self.uops / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        """Fraction of branches predicted correctly (1.0 with no branches)."""
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredictions / self.branches
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Fraction of data accesses served at each memory level."""
+        total = sum(self.mem_level_counts.values())
+        if not total:
+            return {}
+        return {
+            level: count / total
+            for level, count in sorted(self.mem_level_counts.items())
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -309,6 +348,11 @@ class OutOfOrderCore:
         fp_ops = complex_decodes = ifetch_blocks = 0
         prune_at = PRUNE_INTERVAL
         rename = 0
+        # Per-stage stall attribution (cycles each constraint pushed a uop
+        # past the schedule it would otherwise have had).
+        stall_fetch_icache = stall_fetch_redirect = 0
+        stall_rename_bw = stall_rob = stall_iq = stall_lq = stall_sq = 0
+        stall_decode = stall_operand = stall_fu = stall_issue_bw = 0
 
         for i, uop in enumerate(ops):
             op = uop.op
@@ -319,8 +363,13 @@ class OutOfOrderCore:
                 penalty = access.latency - il1_cycles
                 base = fetch_block_ready
                 if redirect_free > base:
+                    stall_fetch_redirect += redirect_free - base
                     base = redirect_free
-                fetch_block_ready = base + (penalty if penalty > 0 else 0)
+                if penalty > 0:
+                    stall_fetch_icache += penalty
+                    fetch_block_ready = base + penalty
+                else:
+                    fetch_block_ready = base
             fetch = fetch_alloc(
                 fetch_block_ready
                 if fetch_block_ready >= redirect_free
@@ -332,10 +381,12 @@ class OutOfOrderCore:
             if i >= rob_entries:
                 gate = commit_at[i - rob_entries]
                 if gate > earliest:
+                    stall_rob += gate - earliest
                     earliest = gate
             if i >= iq_entries:
                 gate = issue_at[i - iq_entries]
                 if gate > earliest:
+                    stall_iq += gate - earliest
                     earliest = gate
             if op is LOAD:
                 # Queue-full stall: gated on the commit of the N-th
@@ -344,12 +395,14 @@ class OutOfOrderCore:
                 if len(lq_inflight) == lq_entries:
                     gate = commit_at[lq_inflight[0]]
                     if gate > earliest:
+                        stall_lq += gate - earliest
                         earliest = gate
                 lq_inflight.append(i)
             elif op is STORE:
                 if len(sq_inflight) == sq_entries:
                     gate = commit_at[sq_inflight[0]]
                     if gate > earliest:
+                        stall_sq += gate - earliest
                         earliest = gate
                 sq_inflight.append(i)
             elif op is COMPLEX:
@@ -358,7 +411,10 @@ class OutOfOrderCore:
                     # Complex decoder lives in the top layer: +1 cycle
                     # (Section 4.1.2); rare, so the IPC cost is small.
                     earliest += 1
+                    stall_decode += 1
             rename = rename_alloc(earliest)
+            if rename > earliest:
+                stall_rename_bw += rename - earliest
 
             # ---- register readiness ----------------------------------------
             ready = rename + 1
@@ -372,18 +428,26 @@ class OutOfOrderCore:
                 produced = completion[i - dist]
                 if produced > ready:
                     ready = produced
+            if ready > rename + 1:
+                stall_operand += ready - (rename + 1)
 
             # ---- issue -----------------------------------------------------
             if op is FP_DIV:
                 refractory = last_fp_div_issue + FP_DIV_ISSUE_INTERVAL
                 if refractory > ready:
+                    # Divider issue-interval backpressure is an FU limit.
+                    stall_fu += refractory - ready
                     ready = refractory
             latency = op_latency[op]
             # Table 9: adds/multiplies are fully pipelined (issue every
             # cycle); only the divide units block for their full latency.
             busy = latency if (op is DIV or op is FP_DIV) else 1
             start = pools[op].reserve(ready, busy)
+            if start > ready:
+                stall_fu += start - ready
             issue = issue_alloc(start)
+            if issue > start:
+                stall_issue_bw += issue - start
             issue_at[i] = issue
             if op is FP_DIV:
                 last_fp_div_issue = issue
@@ -447,6 +511,19 @@ class OutOfOrderCore:
         stats.ifetch_blocks = ifetch_blocks
         stats.uops = n
         stats.cycles = commit_at[-1] if n else 0
+        stats.stall_cycles = {
+            "fetch_icache": stall_fetch_icache,
+            "fetch_redirect": stall_fetch_redirect,
+            "rename_bw": stall_rename_bw,
+            "rob": stall_rob,
+            "iq": stall_iq,
+            "lq": stall_lq,
+            "sq": stall_sq,
+            "decode": stall_decode,
+            "operand": stall_operand,
+            "fu": stall_fu,
+            "issue_bw": stall_issue_bw,
+        }
         return SimResult(
             config_name=cfg.name,
             trace_name=trace.name,

@@ -100,6 +100,48 @@ class TestResultCache:
         hit, _ = cache.get("k0")
         assert not hit  # oldest quarter evicted
 
+    def test_disk_full_degrades_to_memory_only(self, tmp_path, monkeypatch):
+        """A full disk (ENOSPC from mkstemp) must not kill the sweep:
+        the put degrades to memory-only, warns once, and is counted."""
+        import tempfile as tempfile_mod
+
+        import repro.engine.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+
+        def full_disk(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(cache_mod.tempfile, "mkstemp", full_disk)
+        assert cache_mod.tempfile is tempfile_mod  # same module patched
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            cache.put("deadbeef", [1, 2, 3])
+        cache.put("cafef00d", [4])  # second failure: counted, no re-warn
+        assert cache.stats.disk_put_failures == 2
+        assert cache.stats.stores == 2
+        hit, value = cache.get("deadbeef")
+        assert hit and value == [1, 2, 3]  # memory layer still serves it
+        assert not any(tmp_path.rglob("*.pkl"))  # nothing landed on disk
+
+    def test_failed_write_resumes_when_disk_recovers(self, tmp_path,
+                                                     monkeypatch):
+        import repro.engine.cache as cache_mod
+
+        cache = ResultCache(tmp_path)
+        real_mkstemp = cache_mod.tempfile.mkstemp
+        monkeypatch.setattr(
+            cache_mod.tempfile, "mkstemp",
+            lambda *a, **k: (_ for _ in ()).throw(OSError(28, "full")),
+        )
+        with pytest.warns(RuntimeWarning):
+            cache.put("deadbeef", [1])
+        monkeypatch.setattr(cache_mod.tempfile, "mkstemp", real_mkstemp)
+        cache.put("cafef00d", [2])  # disk recovered
+        assert cache.stats.disk_put_failures == 1
+        fresh = ResultCache(tmp_path)
+        hit, value = fresh.get("cafef00d")
+        assert hit and value == [2]
+
 
 class TestEngineExecution:
     def test_cached_rerun_identical_and_free(self):

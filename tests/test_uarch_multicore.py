@@ -82,3 +82,29 @@ class TestMulticore:
         first = run_parallel(base_config(num_cores=4), water, 8000, seed=7)
         second = run_parallel(base_config(num_cores=4), water, 8000, seed=7)
         assert first.cycles == second.cycles
+
+
+class TestUopConservation:
+    """run_parallel must execute exactly the requested total work: the
+    old ``max(1000, total_uops // cores)`` share dropped remainders and
+    inflated tiny sweeps."""
+
+    @pytest.mark.parametrize("total", [16000, 1603, 4001, 7, 4])
+    def test_total_work_conserved(self, water, total):
+        result = run_parallel(base_config(num_cores=4), water, total)
+        assert result.requested_uops == total
+        assert result.actual_uops == total
+        assert sum(core.stats.uops for core in result.per_core) == total
+
+    def test_remainder_spread_evenly(self, water):
+        result = run_parallel(base_config(num_cores=4), water, 4001)
+        shares = [core.stats.uops for core in result.per_core]
+        assert max(shares) - min(shares) <= 1
+
+    def test_tiny_request_rounds_up_to_core_count(self, water):
+        # Fewer uops than cores: every core still runs one uop, and the
+        # inflation is visible in requested-vs-actual.
+        result = run_parallel(base_config(num_cores=4), water, 3)
+        assert result.requested_uops == 3
+        assert result.actual_uops == 4
+        assert all(core.stats.uops == 1 for core in result.per_core)
