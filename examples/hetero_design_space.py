@@ -19,7 +19,7 @@ Run with::
 import dataclasses
 
 from repro.core.configs import base_config, m3d_iso_config
-from repro.core.frequency import derive_from_plans, BASE_FREQUENCY
+from repro.core.frequency import derive_from_plans
 from repro.core.structures import core_structures
 from repro.partition.planner import plan_core
 from repro.tech.process import stack_m3d_hetero

@@ -22,7 +22,7 @@ from repro.partition.strategies import (
     reduction_report,
 )
 from repro.power.core_power import power_model_for
-from repro.tech.process import stack_m3d_hetero, stack_m3d_iso
+from repro.tech.process import stack_m3d_iso
 from repro.thermal.hotspot import peak_temperature_2d, peak_temperature_m3d
 from repro.uarch.ooo import run_trace
 from repro.workloads.generator import generate_trace

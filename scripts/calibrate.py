@@ -2,7 +2,6 @@
 from repro.core.structures import core_structures
 from repro.partition.planner import plan_structure
 from repro.tech.process import stack_m3d_iso, stack_m3d_hetero, stack_tsv3d
-from repro.sram.array import solve_2d
 
 PAPER_ISO = {"RF":("PP",41,38,56),"IQ":("PP",26,35,50),"SQ":("PP",14,21,44),"LQ":("PP",15,36,48),
 "RAT":("PP",20,32,45),"BPT":("WP",14,36,57),"BTB":("BP",15,20,37),"DTLB":("BP",26,28,35),

@@ -15,6 +15,15 @@ Commands
 
 ``report``
     Regenerate everything (equivalent to ``python -m repro.experiments.runner``).
+
+``list``
+    Enumerate the registered design points (by group), tables and figures.
+
+``sweep <points>``
+    Evaluate any design points end-to-end (frequency, CPI, power,
+    peak temperature): comma-separated registered names and/or paths to
+    JSON files declaring custom :class:`~repro.design.point.DesignPoint`
+    specs.
 """
 
 from __future__ import annotations
@@ -119,6 +128,52 @@ def cmd_report(args: argparse.Namespace) -> None:
     run_figures(args.uops, args.uops * 3)
 
 
+#: Paper artefacts the CLI can regenerate (cf. cmd_table / cmd_figure).
+TABLE_NUMBERS = ("1", "2", "3", "4", "5", "6", "8", "11")
+FIGURE_NUMBERS = ("2", "6", "7", "8", "9", "10")
+
+
+def cmd_list(args: argparse.Namespace) -> None:
+    from repro.design.registry import registered_points, registry_groups
+
+    print("Design points:")
+    for group in registry_groups():
+        print(f"  [{group}]")
+        for point in registered_points(group):
+            cores = (f"{point.num_cores} cores" if point.num_cores > 1
+                     else "1 core")
+            print(f"    {point.name:<14} {point.stack:<6} "
+                  f"{point.partition:<10} {cores:<8} {point.description}")
+    print("\nTables:  " + " ".join(TABLE_NUMBERS))
+    print("Figures: " + " ".join(FIGURE_NUMBERS))
+    print("\nSweep any subset: repro sweep <name>[,<name>|,<specs.json>...]")
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.design import evaluate_points, print_sweep_summary
+    from repro.design.point import load_points
+    from repro.design.registry import get_point
+
+    points = []
+    for token in args.points.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token.endswith(".json"):
+            points.extend(load_points(token))
+        else:
+            try:
+                points.append(get_point(token))
+            except KeyError as exc:
+                raise SystemExit(exc.args[0])
+    if not points:
+        raise SystemExit("no design points requested")
+    evaluations = evaluate_points(points, uops=args.uops)
+    for evaluation in evaluations:
+        evaluation.print()
+    print_sweep_summary(evaluations)
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--uops", type=int, default=8000,
@@ -155,6 +210,12 @@ def main(argv=None) -> None:
     add_command("figure", cmd_figure, "regenerate one paper figure",
                 ("number", "figure number"))
     add_command("report", cmd_report, "regenerate everything")
+    add_command("list", cmd_list,
+                "list registered design points, tables and figures")
+    add_command("sweep", cmd_sweep,
+                "evaluate design points end-to-end",
+                ("points", "comma-separated registered names and/or "
+                           "paths to JSON DesignPoint spec files"))
 
     raw = list(argv if argv is not None else sys.argv[1:])
     # Convenience spellings: "figure6" == "figure 6", "table11" == "table 11".

@@ -6,9 +6,13 @@ structure sizes, the derived frequency, the 3D critical-path cycle savings
 (load-to-use and branch misprediction, Section 6), voltage, issue width and
 core count.
 
-Frequencies are derived from the partition model by default
-(:mod:`repro.core.frequency`); pass ``use_paper_values=True`` to pin them to
-the paper's published Table 11 numbers instead.
+Every named constructor below is a thin shim over the design-point
+registry (:mod:`repro.design`): the paper's configurations are registered
+:class:`~repro.design.point.DesignPoint` specs, and
+:func:`repro.design.resolve.resolve` drives partitioning, frequency
+derivation and config construction from the spec alone.  Frequencies are
+derived from the partition model by default; pass ``use_paper_values=True``
+to pin them to the paper's published Table 11 numbers instead.
 """
 
 from __future__ import annotations
@@ -16,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List
 
-from repro.core import frequency as freq
 from repro.tech import constants
 
 
@@ -82,123 +85,71 @@ class CoreConfig:
         return max(1, round(self.dram_ns * 1e-9 * self.frequency))
 
 
-def _three_d(config: CoreConfig, **overrides) -> CoreConfig:
-    """Apply the common 3D critical-path savings to a config."""
-    return dataclasses.replace(
-        config,
-        is_3d=True,
-        load_to_use_cycles=config.load_to_use_cycles - 1,
-        branch_mispredict_cycles=config.branch_mispredict_cycles - 2,
-        **overrides,
-    )
+def _resolved(name: str, num_cores: int,
+              use_paper_values: bool = False) -> CoreConfig:
+    # Imported lazily: repro.design builds CoreConfig instances, so a
+    # module-level import here would be circular.
+    from repro.design.resolve import resolve
+
+    return resolve(
+        name, num_cores=num_cores, use_paper_values=use_paper_values
+    ).config
 
 
 def base_config(num_cores: int = 1) -> CoreConfig:
     """The 2D baseline: 3.3 GHz, Table 9 parameters."""
-    return CoreConfig(name="Base", frequency=freq.BASE_FREQUENCY,
-                      num_cores=num_cores, stack="2D")
+    return _resolved("Base", num_cores)
 
 
 def tsv3d_config(num_cores: int = 1) -> CoreConfig:
     """TSV3D: base frequency, but 3D path savings and (multicore) shared L2s."""
-    cfg = _three_d(base_config(num_cores), stack="TSV3D")
-    return dataclasses.replace(
-        cfg, name="TSV3D", shared_l2=num_cores > 1
-    )
+    return _resolved("TSV3D", num_cores)
 
 
 def m3d_iso_config(use_paper_values: bool = False, num_cores: int = 1) -> CoreConfig:
     """M3D-Iso: same-performance layers (paper: 3.83 GHz)."""
-    derivation = freq.derive_m3d_iso(use_paper_values)
-    cfg = _three_d(base_config(num_cores), stack="M3D")
-    return dataclasses.replace(
-        cfg, name="M3D-Iso", frequency=derivation.frequency
-    )
+    return _resolved("M3D-Iso", num_cores, use_paper_values)
 
 
 def m3d_het_naive_config(use_paper_values: bool = False,
                          num_cores: int = 1) -> CoreConfig:
     """M3D-HetNaive: iso design slowed 9% by the slow top layer (3.5 GHz)."""
-    iso = freq.derive_m3d_iso(use_paper_values)
-    derivation = freq.derive_m3d_het_naive(iso)
-    cfg = _three_d(base_config(num_cores), stack="M3D")
-    return dataclasses.replace(
-        cfg, name="M3D-HetNaive", frequency=derivation.frequency, hetero=True
-    )
+    return _resolved("M3D-HetNaive", num_cores, use_paper_values)
 
 
 def m3d_het_config(use_paper_values: bool = False, num_cores: int = 1) -> CoreConfig:
     """M3D-Het: our asymmetric hetero partitioning (paper: 3.79 GHz)."""
-    derivation = freq.derive_m3d_het(use_paper_values)
-    cfg = _three_d(base_config(num_cores), stack="M3D")
-    return dataclasses.replace(
-        cfg,
-        name="M3D-Het",
-        frequency=derivation.frequency,
-        hetero=True,
-        shared_l2=num_cores > 1,
-    )
+    return _resolved("M3D-Het", num_cores, use_paper_values)
 
 
 def m3d_het_agg_config(use_paper_values: bool = False,
                        num_cores: int = 1) -> CoreConfig:
     """M3D-HetAgg: frequency limited only by the IQ (paper: 4.34 GHz)."""
-    derivation = freq.derive_m3d_het_agg(use_paper_values)
-    cfg = _three_d(base_config(num_cores), stack="M3D")
-    return dataclasses.replace(
-        cfg, name="M3D-HetAgg", frequency=derivation.frequency, hetero=True
-    )
+    return _resolved("M3D-HetAgg", num_cores, use_paper_values)
 
 
 def m3d_het_wide_config(num_cores: int = 4) -> CoreConfig:
     """M3D-Het-W: base frequency, issue width raised to 8 (Table 11)."""
-    cfg = _three_d(base_config(num_cores), stack="M3D")
-    return dataclasses.replace(
-        cfg,
-        name="M3D-Het-W",
-        frequency=freq.BASE_FREQUENCY,
-        hetero=True,
-        shared_l2=True,
-        issue_width=8,
-        dispatch_width=5,
-        commit_width=5,
-    )
+    return _resolved("M3D-Het-W", num_cores)
 
 
 def m3d_het_2x_config(num_cores: int = 8) -> CoreConfig:
     """M3D-Het-2X: base frequency, 0.75 V, twice the cores (Table 11)."""
-    cfg = _three_d(base_config(num_cores), stack="M3D")
-    return dataclasses.replace(
-        cfg,
-        name="M3D-Het-2X",
-        frequency=freq.BASE_FREQUENCY,
-        vdd=constants.VDD_HET2X,
-        hetero=True,
-        shared_l2=True,
-    )
+    return _resolved("M3D-Het-2X", num_cores)
 
 
 def single_core_configs(use_paper_values: bool = False) -> List[CoreConfig]:
     """The six single-core designs of Figures 6-8, in figure order."""
-    return [
-        base_config(),
-        tsv3d_config(),
-        m3d_iso_config(use_paper_values),
-        m3d_het_naive_config(use_paper_values),
-        m3d_het_config(use_paper_values),
-        m3d_het_agg_config(use_paper_values),
-    ]
+    from repro.design.resolve import paper_single_core_configs
+
+    return paper_single_core_configs(use_paper_values)
 
 
 def multicore_configs(use_paper_values: bool = False) -> List[CoreConfig]:
     """The five multicore designs of Figures 9-10, in figure order."""
-    return [
-        base_config(num_cores=4),
-        tsv3d_config(num_cores=4),
-        m3d_het_config(use_paper_values, num_cores=4),
-        m3d_het_wide_config(num_cores=4),
-        m3d_het_2x_config(num_cores=8),
-    ]
+    from repro.design.resolve import paper_multicore_configs
+
+    return paper_multicore_configs(use_paper_values)
 
 
 def configs_by_name(use_paper_values: bool = False) -> Dict[str, CoreConfig]:

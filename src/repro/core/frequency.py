@@ -10,6 +10,13 @@ are on the critical path:
 The aggressive variants (M3D-IsoAgg / M3D-HetAgg) instead consider only the
 traditionally frequency-critical structures (RF, IQ, ALU+bypass), so their
 limiter is the IQ's reduction.
+
+This module owns the derivation *primitives* (:func:`derive_from_plans`,
+:func:`derive_from_reference`, :func:`apply_naive_loss`).  The named
+``derive_*`` functions are thin shims over the design-point registry
+(:mod:`repro.design`): each paper design is a registered
+:class:`~repro.design.point.DesignPoint` whose frequency policy drives
+these primitives, and arbitrary new points go through the same pipeline.
 """
 
 from __future__ import annotations
@@ -17,11 +24,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Iterable, List, Optional
 
-from repro.core import structures as structdefs
-from repro.core.reference import TABLE6_M3D, TABLE8_HETERO
-from repro.partition.planner import StructurePlan, min_latency_reduction, plan_core
+from repro.partition.planner import StructurePlan
 from repro.tech import constants
-from repro.tech.process import StackSpec, stack_m3d_hetero, stack_m3d_iso
 
 #: 2D baseline core frequency (Hz), set by the RF access time (Section 6.1).
 BASE_FREQUENCY: float = 3.3e9
@@ -85,81 +89,12 @@ def derive_from_plans(
     )
 
 
-def derive_m3d_iso(use_paper_values: bool = False) -> FrequencyDerivation:
-    """M3D-Iso: all structures assumed critical (paper: 3.83 GHz)."""
-    if use_paper_values:
-        return _derive_from_reference("M3D-Iso", TABLE6_M3D)
-    plans = plan_core(structdefs.core_structures(), stack_m3d_iso())
-    return derive_from_plans("M3D-Iso", plans)
-
-
-def derive_m3d_iso_agg(use_paper_values: bool = False) -> FrequencyDerivation:
-    """M3D-IsoAgg: only the traditional critical structures (paper: 4.46 GHz)."""
-    if use_paper_values:
-        return _derive_from_reference(
-            "M3D-IsoAgg", TABLE6_M3D, only=structdefs.FREQUENCY_CRITICAL
-        )
-    plans = plan_core(structdefs.core_structures(), stack_m3d_iso())
-    return derive_from_plans(
-        "M3D-IsoAgg", plans, only=structdefs.FREQUENCY_CRITICAL
-    )
-
-
-def derive_m3d_het(use_paper_values: bool = False) -> FrequencyDerivation:
-    """M3D-Het: asymmetric hetero partitions, all structures (paper: 3.79)."""
-    if use_paper_values:
-        return _derive_from_reference("M3D-Het", TABLE8_HETERO)
-    plans = plan_core(
-        structdefs.core_structures(), stack_m3d_hetero(), asymmetric=True
-    )
-    return derive_from_plans("M3D-Het", plans)
-
-
-def derive_m3d_het_agg(use_paper_values: bool = False) -> FrequencyDerivation:
-    """M3D-HetAgg: hetero partitions, critical structures only (paper: 4.34)."""
-    if use_paper_values:
-        return _derive_from_reference(
-            "M3D-HetAgg", TABLE8_HETERO, only=structdefs.FREQUENCY_CRITICAL
-        )
-    plans = plan_core(
-        structdefs.core_structures(), stack_m3d_hetero(), asymmetric=True
-    )
-    return derive_from_plans(
-        "M3D-HetAgg", plans, only=structdefs.FREQUENCY_CRITICAL
-    )
-
-
-def derive_m3d_het_naive(
-    iso: Optional[FrequencyDerivation] = None,
-) -> FrequencyDerivation:
-    """M3D-HetNaive: the iso design slowed by Shi et al.'s 9% (paper: 3.5)."""
-    iso = iso if iso is not None else derive_m3d_iso()
-    return FrequencyDerivation(
-        design="M3D-HetNaive",
-        frequency=iso.frequency * (1.0 - NAIVE_HETERO_LOSS),
-        limiting_structure=iso.limiting_structure,
-        limiting_reduction=iso.limiting_reduction,
-        plans=iso.plans,
-    )
-
-
-def derive_tsv3d() -> FrequencyDerivation:
-    """TSV3D stays at the base frequency: some structures regress under
-    TSV partitioning, so intra-block 3D cannot raise the clock
-    (Section 6.1)."""
-    return FrequencyDerivation(
-        design="TSV3D",
-        frequency=BASE_FREQUENCY,
-        limiting_structure="(kept at base: negative TSV reductions)",
-        limiting_reduction=0.0,
-    )
-
-
-def _derive_from_reference(
+def derive_from_reference(
     design: str,
     table: Dict,
     only: Optional[Iterable[str]] = None,
 ) -> FrequencyDerivation:
+    """Derive a frequency from a published reduction table (Table 6/8)."""
     names = set(only) if only is not None else set(table)
     limiter = min(
         (name for name in table if name in names),
@@ -172,3 +107,65 @@ def _derive_from_reference(
         limiting_structure=limiter,
         limiting_reduction=reduction,
     )
+
+
+def apply_naive_loss(
+    iso: FrequencyDerivation,
+    design: str = "M3D-HetNaive",
+    loss: Optional[float] = None,
+) -> FrequencyDerivation:
+    """Slow an iso-layer derivation by the naive hetero loss (Shi et al.)."""
+    loss = NAIVE_HETERO_LOSS if loss is None else loss
+    return FrequencyDerivation(
+        design=design,
+        frequency=iso.frequency * (1.0 - loss),
+        limiting_structure=iso.limiting_structure,
+        limiting_reduction=iso.limiting_reduction,
+        plans=iso.plans,
+    )
+
+
+# -- paper designs: shims over the design-point registry ----------------------
+
+
+def _registry_derive(name: str, use_paper_values: bool) -> FrequencyDerivation:
+    # Imported lazily: repro.design imports this module's primitives.
+    from repro.design.resolve import derive_frequency
+
+    return derive_frequency(name, use_paper_values=use_paper_values)
+
+
+def derive_m3d_iso(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-Iso: all structures assumed critical (paper: 3.83 GHz)."""
+    return _registry_derive("M3D-Iso", use_paper_values)
+
+
+def derive_m3d_iso_agg(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-IsoAgg: only the traditional critical structures (paper: 4.46 GHz)."""
+    return _registry_derive("M3D-IsoAgg", use_paper_values)
+
+
+def derive_m3d_het(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-Het: asymmetric hetero partitions, all structures (paper: 3.79)."""
+    return _registry_derive("M3D-Het", use_paper_values)
+
+
+def derive_m3d_het_agg(use_paper_values: bool = False) -> FrequencyDerivation:
+    """M3D-HetAgg: hetero partitions, critical structures only (paper: 4.34)."""
+    return _registry_derive("M3D-HetAgg", use_paper_values)
+
+
+def derive_m3d_het_naive(
+    iso: Optional[FrequencyDerivation] = None,
+) -> FrequencyDerivation:
+    """M3D-HetNaive: the iso design slowed by Shi et al.'s 9% (paper: 3.5)."""
+    if iso is not None:
+        return apply_naive_loss(iso)
+    return _registry_derive("M3D-HetNaive", False)
+
+
+def derive_tsv3d() -> FrequencyDerivation:
+    """TSV3D stays at the base frequency: some structures regress under
+    TSV partitioning, so intra-block 3D cannot raise the clock
+    (Section 6.1)."""
+    return _registry_derive("TSV3D", False)

@@ -1,0 +1,240 @@
+"""End-to-end evaluation of arbitrary design points (``repro sweep``).
+
+For every requested point — registered name, JSON-declared spec, or
+:class:`DesignPoint` object — the sweep resolves the full pipeline
+(stack → partition plans → frequency → core config), then runs the
+figure-6/7/8-style evaluation against the 2D Base reference through
+:mod:`repro.engine`: simulated CPI/speedup per application, energy
+normalised to Base, and peak temperature on the point's thermal stack.
+Engine caching, ``--jobs`` parallelism and run manifests apply exactly
+as they do for the paper figures.
+
+Single-core points (``num_cores == 1``) run the SPEC suite against the
+single-core Base; multicore points run the parallel suite against the
+4-core Base of Figure 9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.design.resolve import ResolvedDesign, as_point, resolve
+
+#: Core count of the multicore reference design (Figure 9's 4-core Base).
+MULTICORE_BASELINE_CORES: int = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class PointEvaluation:
+    """One design point evaluated end-to-end over an application suite."""
+
+    design: ResolvedDesign
+    apps: List[str]
+    cpi: List[float]  # effective cycles per uop (incl. barrier waits)
+    speedup: List[float]  # wall-clock speedup over the Base reference
+    energy: List[float]  # total energy normalised to Base at equal work
+    peak_c: List[float]  # peak temperature on the point's thermal stack
+
+    @property
+    def name(self) -> str:
+        return self.design.point.name
+
+    @property
+    def display_name(self) -> str:
+        return self.design.display_name
+
+    @property
+    def ghz(self) -> float:
+        return self.design.derivation.ghz
+
+    def _avg(self, series: List[float]) -> float:
+        return sum(series) / len(series) if series else 0.0
+
+    @property
+    def avg_cpi(self) -> float:
+        return self._avg(self.cpi)
+
+    @property
+    def avg_speedup(self) -> float:
+        return self._avg(self.speedup)
+
+    @property
+    def avg_energy(self) -> float:
+        return self._avg(self.energy)
+
+    @property
+    def max_peak_c(self) -> float:
+        return max(self.peak_c) if self.peak_c else 0.0
+
+    def summary_row(self) -> Dict[str, float]:
+        """The headline numbers, ready for printing or a manifest."""
+        return {
+            "ghz": self.ghz,
+            "cpi": self.avg_cpi,
+            "speedup": self.avg_speedup,
+            "energy": self.avg_energy,
+            "peak_c": self.max_peak_c,
+        }
+
+    def print(self) -> None:
+        point = self.design.point
+        derivation = self.design.derivation
+        print(f"\n=== {self.name} "
+              f"({point.stack}, {point.partition}, "
+              f"{point.num_cores} core{'s' if point.num_cores > 1 else ''}) ===")
+        if point.description:
+            print(f"  {point.description}")
+        print(f"  frequency: {derivation.ghz:.2f} GHz "
+              f"(limiter: {derivation.limiting_structure})")
+        header = ("app".ljust(15) + f"{'cpi':>10}{'speedup':>10}"
+                  f"{'energy':>10}{'peak C':>10}")
+        print(header)
+        for i, app in enumerate(self.apps):
+            print(app.ljust(15)
+                  + f"{self.cpi[i]:10.3f}{self.speedup[i]:10.3f}"
+                  + f"{self.energy[i]:10.3f}{self.peak_c[i]:10.2f}")
+        print("Average".ljust(15)
+              + f"{self.avg_cpi:10.3f}{self.avg_speedup:10.3f}"
+              + f"{self.avg_energy:10.3f}{self.max_peak_c:10.2f}")
+
+
+def _effective_cpi(result, num_cores: int) -> float:
+    """Cycles per uop at the aligned wall clock (barrier waits included)."""
+    uops = getattr(result, "total_uops", None)
+    if uops is None:
+        uops = result.stats.uops
+    return result.cycles * num_cores / max(1, uops)
+
+
+def evaluate_points(points: Sequence, *,
+                    uops: int = 4000,
+                    multicore_uops: Optional[int] = None,
+                    seed: int = 1234,
+                    grid: int = 8,
+                    engine=None,
+                    apps: Optional[int] = None) -> List[PointEvaluation]:
+    """Evaluate design points end-to-end through the experiment engine.
+
+    ``points`` mixes registered names and :class:`DesignPoint` objects.
+    ``uops`` is the measured trace length per single-core run;
+    ``multicore_uops`` the total work per parallel run (default
+    ``3 * uops``, matching the report's convention).  ``apps`` limits the
+    suite to its first N applications (useful for quick sweeps/tests).
+    """
+    from repro.engine.sweep import get_engine
+
+    engine = engine if engine is not None else get_engine()
+    multicore_uops = multicore_uops if multicore_uops is not None else 3 * uops
+    resolved = [resolve(as_point(point)) for point in points]
+    seen: Dict[str, str] = {}
+    for design in resolved:
+        clash = seen.get(design.config.name)
+        if clash is not None and clash != design.point.name:
+            raise ValueError(
+                f"points {clash!r} and {design.point.name!r} both resolve to "
+                f"config name {design.config.name!r}; rename one"
+            )
+        seen[design.config.name] = design.point.name
+
+    evaluations: Dict[str, PointEvaluation] = {}
+    for multicore in (False, True):
+        group = [d for d in resolved if (d.config.num_cores > 1) == multicore]
+        if not group:
+            continue
+        evaluations.update(
+            _evaluate_group(
+                group,
+                engine=engine,
+                multicore=multicore,
+                uops=multicore_uops if multicore else uops,
+                seed=seed,
+                grid=grid,
+                apps=apps,
+            )
+        )
+    return [evaluations[design.point.name] for design in resolved]
+
+
+def _evaluate_group(group: List[ResolvedDesign], *, engine, multicore: bool,
+                    uops: int, seed: int, grid: int,
+                    apps: Optional[int]) -> Dict[str, PointEvaluation]:
+    from repro.workloads.parallel import parallel_profiles
+    from repro.workloads.spec import spec_profiles
+
+    if multicore:
+        baseline = resolve("Base", num_cores=MULTICORE_BASELINE_CORES)
+        profiles = parallel_profiles()
+    else:
+        baseline = resolve("Base")
+        profiles = spec_profiles()
+    if apps is not None:
+        profiles = profiles[:apps]
+
+    configs = [baseline.config] + [
+        design.config for design in group
+        if design.config != baseline.config
+    ]
+    if multicore:
+        _, runs = engine.multicore_runs(uops, seed=seed, configs=configs,
+                                        profiles=profiles)
+    else:
+        _, runs = engine.single_core_runs(uops, seed=seed, configs=configs,
+                                          profiles=profiles)
+
+    base_model = baseline.power_model()
+    out: Dict[str, PointEvaluation] = {}
+    for design in group:
+        model = design.power_model()
+        names: List[str] = []
+        cpi: List[float] = []
+        speedup: List[float] = []
+        energy: List[float] = []
+        peak: List[float] = []
+        cores = design.config.num_cores
+        for profile in profiles:
+            base_run = runs[profile.name][baseline.config.name]
+            run = runs[profile.name][design.config.name]
+            if multicore:
+                base_report = base_model.evaluate_multicore(base_run)
+                report = model.evaluate_multicore(run)
+                # Normalise at equal total work (cf. figure10).
+                scale = max(1, base_run.total_uops) / max(1, run.total_uops)
+                core_power = report.average_power / cores
+            else:
+                base_report = base_model.evaluate(base_run)
+                report = model.evaluate(run)
+                scale = 1.0
+                core_power = report.average_power
+            names.append(profile.name)
+            cpi.append(_effective_cpi(run, cores))
+            speedup.append(run.speedup_over(base_run))
+            energy.append(report.total * scale / base_report.total)
+            peak.append(
+                design.peak_temperature(core_power, profile, grid=grid).peak_c
+            )
+        out[design.point.name] = PointEvaluation(
+            design=design, apps=names, cpi=cpi, speedup=speedup,
+            energy=energy, peak_c=peak,
+        )
+    return out
+
+
+def print_sweep_summary(evaluations: Sequence[PointEvaluation]) -> None:
+    """One headline row per evaluated point."""
+    print("\n=== Sweep summary ===")
+    print("point".ljust(15) + f"{'GHz':>8}{'cpi':>10}{'speedup':>10}"
+          f"{'energy':>10}{'max C':>10}")
+    for ev in evaluations:
+        row = ev.summary_row()
+        print(ev.name.ljust(15)
+              + f"{row['ghz']:8.2f}{row['cpi']:10.3f}{row['speedup']:10.3f}"
+              + f"{row['energy']:10.3f}{row['peak_c']:10.2f}")
+
+
+__all__ = [
+    "MULTICORE_BASELINE_CORES",
+    "PointEvaluation",
+    "evaluate_points",
+    "print_sweep_summary",
+]

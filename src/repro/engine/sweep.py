@@ -23,10 +23,10 @@ from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.configs import (
-    CoreConfig,
-    multicore_configs,
-    single_core_configs,
+from repro.core.configs import CoreConfig
+from repro.design.resolve import (
+    paper_multicore_configs,
+    paper_single_core_configs,
 )
 from repro.engine.cache import ResultCache, make_key
 from repro.obs.telemetry import EngineTelemetry
@@ -211,7 +211,10 @@ class ExperimentEngine:
         profiles: Optional[List[AppProfile]] = None,
     ) -> Tuple[List[CoreConfig], Dict[str, Dict[str, SimResult]]]:
         """Every SPEC app on every single-core config (the Figure 6-8 sweep)."""
-        configs = list(configs) if configs is not None else single_core_configs()
+        configs = (
+            list(configs) if configs is not None
+            else paper_single_core_configs()
+        )
         profiles = list(profiles) if profiles is not None else spec_profiles()
         specs = [
             SimSpec("single", config, profile, uops, seed)
@@ -232,7 +235,10 @@ class ExperimentEngine:
         profiles: Optional[List[AppProfile]] = None,
     ) -> Tuple[List[CoreConfig], Dict[str, Dict[str, MulticoreResult]]]:
         """Every parallel app on every multicore config (Figure 9-10)."""
-        configs = list(configs) if configs is not None else multicore_configs()
+        configs = (
+            list(configs) if configs is not None
+            else paper_multicore_configs()
+        )
         profiles = list(profiles) if profiles is not None else parallel_profiles()
         specs = [
             SimSpec("multicore", config, profile, total_uops, seed)

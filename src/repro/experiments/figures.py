@@ -18,11 +18,7 @@ from typing import Dict, List, Optional
 from repro.core.configs import CoreConfig
 from repro.engine.sweep import ExperimentEngine, get_engine
 from repro.power.core_power import power_model_for
-from repro.thermal.hotspot import (
-    peak_temperature_2d,
-    peak_temperature_m3d,
-    peak_temperature_tsv3d,
-)
+from repro.thermal.hotspot import peak_temperature_for
 from repro.workloads.parallel import parallel_profiles
 from repro.workloads.spec import spec_profiles
 
@@ -31,6 +27,9 @@ SINGLE_CORE_UOPS: int = 8000
 
 #: Default total work per parallel application (all cores together).
 MULTICORE_UOPS: int = 24000
+
+#: The three designs whose thermals Figure 8 compares.
+FIGURE8_DESIGNS = ("Base", "TSV3D", "M3D-Het")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -111,24 +110,19 @@ def figure8(uops: int = SINGLE_CORE_UOPS, seed: int = 1234,
     design by its average power ratio (power = energy / time).
     """
     configs, runs = _single_core_runs(uops, seed)
+    by_name = {cfg.name: cfg for cfg in configs}
     models = {cfg.name: power_model_for(cfg) for cfg in configs}
     apps = [p.name for p in spec_profiles()]
     profiles = {p.name: p for p in spec_profiles()}
-    values: Dict[str, List[float]] = {"Base": [], "TSV3D": [], "M3D-Het": []}
+    values: Dict[str, List[float]] = {name: [] for name in FIGURE8_DESIGNS}
     for app in apps:
         profile = profiles[app]
-        base_power = models["Base"].evaluate(runs[app]["Base"]).average_power
-        tsv_power = models["TSV3D"].evaluate(runs[app]["TSV3D"]).average_power
-        het_power = models["M3D-Het"].evaluate(runs[app]["M3D-Het"]).average_power
-        values["Base"].append(
-            peak_temperature_2d(base_power, profile, grid=grid).peak_c
-        )
-        values["TSV3D"].append(
-            peak_temperature_tsv3d(tsv_power, profile, grid=grid).peak_c
-        )
-        values["M3D-Het"].append(
-            peak_temperature_m3d(het_power, profile, grid=grid).peak_c
-        )
+        for design in FIGURE8_DESIGNS:
+            power = models[design].evaluate(runs[app][design]).average_power
+            values[design].append(
+                peak_temperature_for(by_name[design], power, profile,
+                                     grid=grid).peak_c
+            )
     return FigureSeries("Figure 8: peak temperature (C)", apps, values)
 
 

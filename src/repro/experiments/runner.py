@@ -41,6 +41,18 @@ def run_figures(uops: int, multicore_uops: int) -> None:
     figures.figure10(multicore_uops).print()
 
 
+def run_sweep(names: str, uops: int) -> None:
+    """Evaluate registered design points end-to-end (cf. ``repro sweep``)."""
+    from repro.design import evaluate_points, get_point, print_sweep_summary
+
+    points = [get_point(name.strip())
+              for name in names.split(",") if name.strip()]
+    evaluations = evaluate_points(points, uops=uops)
+    for evaluation in evaluations:
+        evaluation.print()
+    print_sweep_summary(evaluations)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--uops", type=int, default=figures.SINGLE_CORE_UOPS,
@@ -50,6 +62,9 @@ def main() -> None:
                         help="total micro-ops per multicore run")
     parser.add_argument("--tables-only", action="store_true")
     parser.add_argument("--figures-only", action="store_true")
+    parser.add_argument("--sweep", default=None, metavar="POINTS",
+                        help="also evaluate these registered design points "
+                             "(comma-separated; see `repro list`)")
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="worker processes for simulation sweeps "
                              "(1 = serial; results are identical either way)")
@@ -68,6 +83,8 @@ def main() -> None:
         run_tables()
     if not args.tables_only:
         run_figures(args.uops, args.multicore_uops)
+    if args.sweep:
+        run_sweep(args.sweep, args.uops)
     stats = engine.get_engine().cache.stats
     print(f"\nTotal experiment time: {time.time() - started:.1f}s "
           f"(cache: {stats.hits} hits, {stats.misses} misses)")

@@ -9,13 +9,12 @@ comes from the same code path.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.core import frequency as freqmod
 from repro.core import reference
 from repro.core.structures import core_structures, structures_by_name
 from repro.engine.cache import memoized
-from repro.partition.planner import StructurePlan, plan_core, plan_structure
+from repro.partition.planner import plan_core
 from repro.partition.strategies import (
     bit_partition,
     evaluate_2d,
@@ -192,22 +191,16 @@ def table8() -> List[TableRow]:
 
 def table11() -> List[TableRow]:
     """Table 11: derived core frequencies (GHz), model vs paper."""
-    iso = freqmod.derive_m3d_iso()
-    derivations = [
-        ("Base", freqmod.BASE_FREQUENCY / 1e9),
-        ("M3D-Iso", iso.ghz),
-        ("M3D-HetNaive", freqmod.derive_m3d_het_naive(iso).ghz),
-        ("M3D-Het", freqmod.derive_m3d_het().ghz),
-        ("M3D-HetAgg", freqmod.derive_m3d_het_agg().ghz),
-        ("TSV3D", freqmod.derive_tsv3d().ghz),
-    ]
+    from repro.design.registry import TABLE11_ORDER
+    from repro.design.resolve import derive_frequency
+
     return [
         TableRow(
             name,
-            {"ghz": ghz},
+            {"ghz": derive_frequency(name).ghz},
             {"ghz": reference.TABLE11_FREQUENCIES[name]},
         )
-        for name, ghz in derivations
+        for name in TABLE11_ORDER
     ]
 
 

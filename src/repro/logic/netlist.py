@@ -13,7 +13,7 @@ two queries the hetero-layer partitioner needs (Section 4.1):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 

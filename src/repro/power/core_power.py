@@ -152,8 +152,36 @@ class CorePowerModel:
         )
 
 
-def power_model_for(config: CoreConfig) -> CorePowerModel:
-    """Build the power model for a named configuration."""
+def power_model_for(design) -> CorePowerModel:
+    """Build the power model for a design.
+
+    Accepts a :class:`CoreConfig`, a :class:`~repro.design.point.DesignPoint`,
+    a :class:`~repro.design.resolve.ResolvedDesign`, or a registered
+    design-point name.  Design points may override the energy-factor
+    table with their ``power_stack`` field (e.g. ``"M3D-LPtop"``);
+    otherwise the factors follow the config's stack and hetero flag.
+    """
+    point = None
+    if isinstance(design, str):
+        # Imported lazily: repro.design builds CorePowerModel instances.
+        from repro.design.resolve import resolve
+
+        design = resolve(design)
+    if not isinstance(design, CoreConfig):
+        from repro.design.point import DesignPoint
+        from repro.design.resolve import ResolvedDesign, resolve
+
+        if isinstance(design, DesignPoint):
+            design = resolve(design)
+        if not isinstance(design, ResolvedDesign):
+            raise TypeError(
+                f"cannot build a power model from {type(design).__name__}"
+            )
+        point = design.point
+        design = design.config
+    config = design
+    if point is not None and point.power_stack is not None:
+        return CorePowerModel(config, factors_for_stack(point.power_stack))
     stack_key = {
         "2D": "2D",
         "TSV3D": "TSV3D",

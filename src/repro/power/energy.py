@@ -33,7 +33,6 @@ from repro.tech.process import (
     StackSpec,
     stack_m3d_hetero,
     stack_m3d_iso,
-    stack_m3d_lp_top,
     stack_tsv3d,
 )
 

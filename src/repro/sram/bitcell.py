@@ -20,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
-from repro.tech import constants
 from repro.tech.transistor import Transistor, VtClass
 from repro.tech.via import Via
 

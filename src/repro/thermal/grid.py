@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 from scipy.sparse import coo_matrix, lil_matrix

@@ -52,15 +52,32 @@ def _report(design: str, trace: str, solution: ThermalSolution,
     )
 
 
+def _solve_design(design_name: str, stack_kind: str, core_power: float,
+                  profile: Optional[AppProfile], grid: int) -> ThermalReport:
+    """Shared driver: pick the thermal stack + floorplan for a stack kind."""
+    name = profile.name if profile is not None else "uniform"
+    if stack_kind == "2D":
+        stack = stack_2d_thermal()
+        plans = [floorplan_2d(core_power, profile)]
+    elif stack_kind == "TSV3D":
+        stack = stack_tsv3d_thermal()
+        plans = floorplan_folded(core_power, profile,
+                                 hot_block_extra_saving=False)
+    elif stack_kind == "M3D":
+        stack = stack_m3d_thermal()
+        plans = floorplan_folded(core_power, profile,
+                                 hot_block_extra_saving=True)
+    else:
+        raise ValueError(f"no thermal model for stack {stack_kind!r}")
+    solution = solve_floorplans(stack, plans, grid=grid)
+    return _report(design_name, name, solution, stack)
+
+
 def peak_temperature_2d(core_power: float,
                         profile: Optional[AppProfile] = None,
                         grid: int = 16) -> ThermalReport:
     """Peak temperature of the 2D baseline at the given core power."""
-    stack = stack_2d_thermal()
-    plan = floorplan_2d(core_power, profile)
-    solution = solve_floorplans(stack, [plan], grid=grid)
-    name = profile.name if profile is not None else "uniform"
-    return _report("Base", name, solution, stack)
+    return _solve_design("Base", "2D", core_power, profile, grid)
 
 
 def peak_temperature_m3d(core_power: float,
@@ -72,11 +89,7 @@ def peak_temperature_m3d(core_power: float,
     the layers thermally coupled and the PP-partitioned hot blocks shed
     extra power — the two effects behind Section 7.1.3's small deltas.
     """
-    stack = stack_m3d_thermal()
-    plans = floorplan_folded(core_power, profile, hot_block_extra_saving=True)
-    solution = solve_floorplans(stack, plans, grid=grid)
-    name = profile.name if profile is not None else "uniform"
-    return _report("M3D-Het", name, solution, stack)
+    return _solve_design("M3D-Het", "M3D", core_power, profile, grid)
 
 
 def peak_temperature_tsv3d(core_power: float,
@@ -84,8 +97,34 @@ def peak_temperature_tsv3d(core_power: float,
                            grid: int = 16) -> ThermalReport:
     """Peak temperature of the TSV3D core: same folding, but the bottom
     die sits under 20um of dielectric."""
-    stack = stack_tsv3d_thermal()
-    plans = floorplan_folded(core_power, profile, hot_block_extra_saving=False)
-    solution = solve_floorplans(stack, plans, grid=grid)
-    name = profile.name if profile is not None else "uniform"
-    return _report("TSV3D", name, solution, stack)
+    return _solve_design("TSV3D", "TSV3D", core_power, profile, grid)
+
+
+def peak_temperature_for(design, core_power: float,
+                         profile: Optional[AppProfile] = None,
+                         grid: int = 16) -> ThermalReport:
+    """Peak temperature of any design at the given core power.
+
+    ``design`` may be a :class:`~repro.core.configs.CoreConfig`, a
+    :class:`~repro.design.point.DesignPoint`, a
+    :class:`~repro.design.resolve.ResolvedDesign`, or a registered
+    design-point name; the thermal stack and floorplan follow its
+    ``stack`` field ("2D", "M3D" or "TSV3D").
+    """
+    from repro.core.configs import CoreConfig
+
+    if isinstance(design, CoreConfig):
+        return _solve_design(design.name, design.stack, core_power, profile,
+                             grid)
+    # Imported lazily: repro.design resolves through this module.
+    from repro.design.point import DesignPoint
+    from repro.design.resolve import ResolvedDesign, resolve
+
+    if isinstance(design, (str, DesignPoint)):
+        design = resolve(design)
+    if not isinstance(design, ResolvedDesign):
+        raise TypeError(
+            f"cannot pick a thermal model for {type(design).__name__}"
+        )
+    return _solve_design(design.display_name, design.point.stack, core_power,
+                         profile, grid)

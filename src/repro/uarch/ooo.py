@@ -32,7 +32,6 @@ from repro.uarch.isa import (
     FP_DIV_ISSUE_INTERVAL,
     FU_POOLS,
     OP_LATENCY,
-    MicroOp,
     OpClass,
     Trace,
 )

@@ -4,10 +4,9 @@ import pytest
 
 from repro.core.partitioner import (
     STAGE_STRUCTURES,
-    CorePartition,
     partition_core,
 )
-from repro.tech.process import stack_m3d_hetero, stack_m3d_iso
+from repro.tech.process import stack_m3d_iso
 
 
 @pytest.fixture(scope="module")

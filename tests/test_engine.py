@@ -1,6 +1,5 @@
 """Tests for the shared experiment engine (cache + sweep runner)."""
 
-import dataclasses
 import pickle
 
 import pytest

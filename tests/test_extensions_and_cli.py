@@ -48,9 +48,20 @@ class TestCli:
     def test_parse_default_single_port(self):
         assert _parse_geometry("1024x8").ports == 1
 
-    def test_parse_rejects_garbage(self):
-        with pytest.raises(SystemExit):
-            _parse_geometry("not-a-structure")
+    @pytest.mark.parametrize("bad", [
+        "not-a-structure",  # neither a Table 9 name nor a geometry
+        "12x",              # truncated WORDSxBITS
+        "x64",              # missing word count
+        "12x34x",           # trailing separator
+        "12x34x5x6",        # too many dimensions
+        "-12x34",           # negative dimension
+        "rf",               # structure names are case-sensitive
+        "",
+    ])
+    def test_parse_rejects_garbage(self, bad):
+        with pytest.raises(SystemExit) as excinfo:
+            _parse_geometry(bad)
+        assert "WORDSxBITS" in str(excinfo.value)
 
     def test_cli_partition_runs(self, capsys):
         main(["partition", "RAT"])
@@ -73,3 +84,48 @@ class TestCli:
     def test_cli_rejects_unknown_table(self):
         with pytest.raises(SystemExit):
             main(["table", "99"])
+
+    def test_cli_list_enumerates_points_tables_figures(self, capsys):
+        main(["list"])
+        output = capsys.readouterr().out
+        for group in ("[paper]", "[paper-multicore]", "[extension]"):
+            assert group in output
+        for name in ("Base", "M3D-Het", "M3D-Het-2X", "TSV3D-Het"):
+            assert name in output
+        assert "Tables:" in output and "11" in output
+        assert "Figures:" in output and "10" in output
+
+    def test_cli_sweep_registered_point(self, capsys):
+        main(["--uops", "200", "sweep", "M3D-Het50"])
+        output = capsys.readouterr().out
+        assert "M3D-Het50" in output
+        assert "Sweep summary" in output
+        assert "GHz" in output
+
+    def test_cli_sweep_json_point_writes_valid_manifest(self, tmp_path,
+                                                        capsys):
+        import json
+
+        from repro.obs import validate_manifest
+
+        spec = tmp_path / "points.json"
+        spec.write_text(json.dumps({
+            "name": "M3D-Het40", "stack": "M3D", "top_layer_slowdown": 0.40,
+            "partition": "asymmetric",
+        }))
+        manifest_path = tmp_path / "manifest.json"
+        main(["--uops", "200", "sweep", str(spec),
+              "--metrics-out", str(manifest_path)])
+        output = capsys.readouterr().out
+        assert "M3D-Het40" in output
+        manifest = json.loads(manifest_path.read_text())
+        validate_manifest(manifest)
+        assert "sweep" in manifest["command"]
+
+    def test_cli_sweep_rejects_unknown_point(self):
+        with pytest.raises(SystemExit, match="M3D-Missing"):
+            main(["sweep", "M3D-Missing"])
+
+    def test_cli_sweep_rejects_empty_request(self):
+        with pytest.raises(SystemExit, match="no design points"):
+            main(["sweep", ","])

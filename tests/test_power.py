@@ -6,7 +6,6 @@ from repro.core.configs import (
     base_config,
     m3d_het_2x_config,
     m3d_het_config,
-    m3d_iso_config,
     tsv3d_config,
 )
 from repro.power.clocktree import ClockTree, clock_energy_ratio

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.sram.array import ArrayGeometry, analyze_plane, solve_2d
 from repro.sram.bitcell import Bitcell
-from repro.tech.transistor import Transistor, VtClass
+from repro.tech.transistor import Transistor
 from repro.tech.wire import LOCAL_WIRE, folded_length, folded_length_3d
 from repro.uarch.cache import SetAssociativeCache
 from repro.uarch.noc import RingNoc

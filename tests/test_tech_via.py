@@ -1,10 +1,8 @@
 """Tests for the via models (Tables 1, 2 and Figure 2)."""
 
-import math
 
 import pytest
 
-from repro.tech import constants
 from repro.tech.via import (
     Via,
     figure2_relative_areas,

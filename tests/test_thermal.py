@@ -4,7 +4,6 @@ import pytest
 
 from repro.thermal.floorplan import (
     BLOCK_AREAS,
-    Floorplan,
     floorplan_2d,
     floorplan_folded,
 )

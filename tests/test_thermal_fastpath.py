@@ -9,7 +9,7 @@ grid); ``solve_stack_reference`` keeps the original scalar
 import numpy as np
 import pytest
 
-from repro.thermal.floorplan import floorplan_2d, floorplan_folded
+from repro.thermal.floorplan import floorplan_folded
 from repro.thermal.grid import (
     _FACTOR_CACHE,
     factorization_cache_size,

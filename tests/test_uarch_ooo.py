@@ -7,7 +7,6 @@ import pytest
 from repro.core.configs import base_config, m3d_het_config, m3d_iso_config
 from repro.uarch.isa import MicroOp, OpClass, Trace
 from repro.uarch.ooo import (
-    OutOfOrderCore,
     _FuPool,
     _PerCycleBandwidth,
     _WidthLimiter,
