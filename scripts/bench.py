@@ -18,6 +18,11 @@ Sections
     (empty caches), a warm in-memory pass (same process), and a warm
     on-disk pass (fresh engine, populated cache directory — must not
     simulate anything).
+``kernel``
+    Per-config scalar oracle vs :func:`repro.uarch.kernel.run_trace_batch`
+    on one shared trace — both the default (scalar batch) path and the
+    forced NumPy path — plus the max CPI divergence vs the oracle
+    (must be 0: the kernel is cycle-exact).
 ``thermal``
     Scalar ``lil_matrix``+``spsolve`` reference vs the vectorized,
     ``splu``-factorized fast path, amortised over a Figure-8-sized batch
@@ -53,8 +58,40 @@ from repro.obs import (  # noqa: E402  (path set up above)
 
 #: Seed-commit wall-clock of ``python -m repro.experiments.runner`` at
 #: default sizes on the reference container (measured before the engine
-#: existed); ``runner.speedup_vs_seed`` tracks the tentpole's >=3x target.
+#: existed).  Only the *fallback* baseline: a fresh run compares itself
+#: against the most recent full ``BENCH_*.json`` in the repo when one
+#: exists (see :func:`latest_bench_baseline`), so the trajectory is
+#: commit-over-commit rather than forever-vs-seed.
 SEED_RUNNER_SECONDS = 175.3
+
+
+def latest_bench_baseline(exclude: Path = None) -> tuple:
+    """Cold-runner baseline from the most recent full ``BENCH_*.json``.
+
+    Returns ``(cold_seconds, source)`` where ``source`` is the record's
+    file name, or ``(SEED_RUNNER_SECONDS, "seed")`` when no prior full
+    record exists.  ``--quick`` records are skipped (tiny sizes), as is
+    ``exclude`` (the file this run is about to write).
+    """
+    candidates = []
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        if exclude is not None and path.resolve() == Path(exclude).resolve():
+            continue
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if record.get("quick"):
+            continue
+        cold = record.get("runner", {}).get("cold_seconds")
+        if isinstance(cold, (int, float)) and cold > 0:
+            candidates.append((record.get("timestamp", ""), path.name,
+                               float(cold)))
+    if not candidates:
+        return SEED_RUNNER_SECONDS, "seed"
+    candidates.sort()
+    _, name, cold = candidates[-1]
+    return cold, name
 
 
 def _silent(name, fn, *args, **kwargs):
@@ -67,7 +104,8 @@ def _silent(name, fn, *args, **kwargs):
     return span.seconds, result
 
 
-def bench_runner(uops: int, multicore_uops: int, quick: bool) -> tuple:
+def bench_runner(uops: int, multicore_uops: int, quick: bool,
+                 baseline: tuple = None) -> tuple:
     """Return ``(record, cold_engine)``; the cold engine's telemetry
     (per-spec timings, stall aggregation) feeds the run manifest."""
     from repro import engine
@@ -104,9 +142,16 @@ def bench_runner(uops: int, multicore_uops: int, quick: bool) -> tuple:
         "warm_disk_misses": warm_disk_misses,
     }
     if not quick:
-        # The seed baseline was measured at default sizes; comparing a
-        # --quick run against it would be meaningless.
-        record["seed_baseline_seconds"] = SEED_RUNNER_SECONDS
+        # Baselines were measured at default sizes; comparing a --quick
+        # run against them would be meaningless.
+        baseline_seconds, baseline_source = (
+            baseline if baseline is not None else latest_bench_baseline()
+        )
+        record["baseline_seconds"] = baseline_seconds
+        record["baseline_source"] = baseline_source
+        record["speedup_vs_baseline"] = round(
+            baseline_seconds / cold_seconds, 2
+        )
         record["speedup_vs_seed"] = round(SEED_RUNNER_SECONDS / cold_seconds, 2)
     return record, cold_engine
 
@@ -162,6 +207,63 @@ def bench_thermal(grid: int, solves: int) -> dict:
     }
 
 
+def bench_kernel(uops: int) -> dict:
+    """Scalar oracle vs the batched SoA kernel on one shared trace.
+
+    Three passes over the same workload, each on a freshly generated
+    trace so none inherits the previous pass's decode/replay memos:
+    per-config ``run_trace`` (the oracle), ``run_trace_batch`` at the
+    default vector threshold (scalar batch path at this width), and
+    ``run_trace_batch`` forced through the NumPy path.
+    """
+    from repro.core.configs import single_core_configs
+    from repro.uarch import ooo
+    from repro.uarch.kernel import run_trace_batch
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import spec_profiles
+
+    profile = spec_profiles()[0]
+    configs = single_core_configs()
+
+    def fresh_trace():
+        return generate_trace(profile, uops, seed=1234)
+
+    trace = fresh_trace()
+    with timer("kernel.scalar") as scalar_span:
+        oracle = [ooo.run_trace(config, trace) for config in configs]
+    with timer("kernel.batched") as batched_span:
+        batched = run_trace_batch(configs, fresh_trace())
+    with timer("kernel.vectorized") as vector_span:
+        vectorized = run_trace_batch(configs, fresh_trace(),
+                                     min_vector_width=1)
+
+    def max_cpi_divergence(results):
+        return max(
+            abs(r.cycles / max(1, r.stats.uops)
+                - o.cycles / max(1, o.stats.uops))
+            for r, o in zip(results, oracle)
+        )
+
+    scalar_seconds = scalar_span.seconds
+    batched_seconds = batched_span.seconds
+    return {
+        "uops": uops,
+        "batch_width": len(configs),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "vectorized_seconds": round(vector_span.seconds, 4),
+        "batched_speedup": round(
+            scalar_seconds / max(batched_seconds, 1e-9), 2
+        ),
+        "vectorized_speedup": round(
+            scalar_seconds / max(vector_span.seconds, 1e-9), 2
+        ),
+        "max_cpi_divergence": max(
+            max_cpi_divergence(batched), max_cpi_divergence(vectorized)
+        ),
+    }
+
+
 def bench_limiter(uops: int) -> dict:
     from repro.core.configs import base_config
     from repro.uarch import ooo
@@ -182,10 +284,10 @@ def bench_limiter(uops: int) -> dict:
     try:
         ooo.PRUNE_INTERVAL = 1 << 62  # pruning never triggers
         unbounded_seconds, unbounded = run_once("limiter.unbounded")
-        unbounded_cycles = ooo.last_tracked_cycles()
+        unbounded_cycles = unbounded.stats.tracked_limiter_cycles
         ooo.PRUNE_INTERVAL = original_interval
         bounded_seconds, bounded = run_once("limiter.bounded")
-        bounded_cycles = ooo.last_tracked_cycles()
+        bounded_cycles = bounded.stats.tracked_limiter_cycles
     finally:
         ooo.PRUNE_INTERVAL = original_interval
 
@@ -215,10 +317,17 @@ def main() -> None:
 
     if args.quick:
         sizes = dict(uops=1000, multicore_uops=3000, grid=8, solves=3,
-                     limiter_uops=20000)
+                     limiter_uops=20000, kernel_uops=2000)
     else:
         sizes = dict(uops=8000, multicore_uops=24000, grid=12, solves=21,
-                     limiter_uops=60000)
+                     limiter_uops=60000, kernel_uops=8000)
+
+    if args.output:
+        out = Path(args.output)
+    else:
+        stamp = datetime.now(timezone.utc).strftime("%Y%m%d_%H%M%S")
+        out = REPO_ROOT / f"BENCH_{stamp}.json"
+    baseline = latest_bench_baseline(exclude=out)
 
     record = {
         "schema": "repro-bench-v1",
@@ -233,12 +342,26 @@ def main() -> None:
     print(f"benchmarking runner (uops={sizes['uops']}, "
           f"multicore_uops={sizes['multicore_uops']}) ...")
     record["runner"], cold_engine = bench_runner(
-        sizes["uops"], sizes["multicore_uops"], args.quick
+        sizes["uops"], sizes["multicore_uops"], args.quick, baseline=baseline
     )
     print(f"  cold {record['runner']['cold_seconds']}s, "
           f"warm-memory {record['runner']['warm_memory_seconds']}s, "
           f"warm-disk {record['runner']['warm_disk_seconds']}s "
           f"({record['runner']['warm_disk_misses']} misses)")
+    if not args.quick:
+        print(f"  {record['runner']['speedup_vs_baseline']}x vs baseline "
+              f"{record['runner']['baseline_seconds']}s "
+              f"({record['runner']['baseline_source']})")
+
+    print(f"benchmarking batched kernel (uops={sizes['kernel_uops']}) ...")
+    record["kernel"] = bench_kernel(sizes["kernel_uops"])
+    print(f"  scalar {record['kernel']['scalar_seconds']}s vs "
+          f"batched {record['kernel']['batched_seconds']}s "
+          f"({record['kernel']['batched_speedup']}x) / "
+          f"vectorized {record['kernel']['vectorized_seconds']}s "
+          f"({record['kernel']['vectorized_speedup']}x) at width "
+          f"{record['kernel']['batch_width']}, "
+          f"max CPI divergence {record['kernel']['max_cpi_divergence']:.2e}")
 
     print(f"benchmarking thermal solver (grid={sizes['grid']}) ...")
     record["thermal"] = bench_thermal(sizes["grid"], sizes["solves"])
@@ -253,11 +376,6 @@ def main() -> None:
           f"-> {record['limiter']['bounded_tracked_cycles']} "
           f"({record['limiter']['tracked_cycle_reduction']}x smaller)")
 
-    if args.output:
-        out = Path(args.output)
-    else:
-        stamp = datetime.now(timezone.utc).strftime("%Y%m%d_%H%M%S")
-        out = REPO_ROOT / f"BENCH_{stamp}.json"
     out.write_text(json.dumps(record, indent=2) + "\n")
     print(f"wrote {out}")
 

@@ -20,6 +20,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.design.resolve import ResolvedDesign, as_point, resolve
+from repro.obs import warn_model_disagreement
 
 #: Core count of the multicore reference design (Figure 9's 4-core Base).
 MULTICORE_BASELINE_CORES: int = 4
@@ -105,6 +106,45 @@ def _effective_cpi(result, num_cores: int) -> float:
     if uops is None:
         uops = result.stats.uops
     return result.cycles * num_cores / max(1, uops)
+
+
+#: Relative CPI changes smaller than this are treated as flat by the
+#: interval-model cross-check — inside both models' noise floor, the
+#: *direction* of the change carries no signal.
+INTERVAL_CHECK_THRESHOLD: float = 0.02
+
+
+def interval_crosscheck(config, base_config, run, base_run,
+                        label: str,
+                        threshold: float = INTERVAL_CHECK_THRESHOLD):
+    """Compare the cycle model and the interval model on the direction of
+    the ``base_config -> config`` CPI change.
+
+    Returns a warning message when the two models disagree on the sign of
+    a change both consider significant (``>= threshold`` relative), else
+    ``None``.  Single-core only: the interval model has no notion of
+    barriers or coherence, so multicore runs are not comparable.
+    """
+    from repro.uarch.interval import predict_cpi, workload_stats_from_sim
+
+    measured_base = base_run.cycles / max(1, base_run.stats.uops)
+    measured = run.cycles / max(1, run.stats.uops)
+    workload = workload_stats_from_sim(base_run)
+    predicted_base = predict_cpi(base_config, workload)
+    predicted = predict_cpi(config, workload)
+    measured_delta = measured / measured_base - 1.0
+    predicted_delta = predicted / predicted_base - 1.0
+    if abs(measured_delta) < threshold or abs(predicted_delta) < threshold:
+        return None
+    if (measured_delta > 0) == (predicted_delta > 0):
+        return None
+    return (
+        f"{label}: cycle model says CPI "
+        f"{'rose' if measured_delta > 0 else 'fell'} {measured_delta:+.1%} "
+        f"from {base_config.name} to {config.name}, but the interval model "
+        f"predicts {predicted_delta:+.1%} — one of them mismodels this "
+        f"configuration delta"
+    )
 
 
 def evaluate_points(points: Sequence, *,
@@ -206,6 +246,13 @@ def _evaluate_group(group: List[ResolvedDesign], *, engine, multicore: bool,
                 report = model.evaluate(run)
                 scale = 1.0
                 core_power = report.average_power
+            if not multicore:
+                message = interval_crosscheck(
+                    design.config, baseline.config, run, base_run,
+                    label=f"{design.point.name}/{profile.name}",
+                )
+                if message is not None:
+                    warn_model_disagreement(message)
             names.append(profile.name)
             cpi.append(_effective_cpi(run, cores))
             speedup.append(run.speedup_over(base_run))
@@ -233,8 +280,10 @@ def print_sweep_summary(evaluations: Sequence[PointEvaluation]) -> None:
 
 
 __all__ = [
+    "INTERVAL_CHECK_THRESHOLD",
     "MULTICORE_BASELINE_CORES",
     "PointEvaluation",
     "evaluate_points",
+    "interval_crosscheck",
     "print_sweep_summary",
 ]

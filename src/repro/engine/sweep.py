@@ -30,7 +30,9 @@ from repro.design.resolve import (
 )
 from repro.engine.cache import ResultCache, make_key
 from repro.obs.telemetry import EngineTelemetry
-from repro.uarch.multicore import MulticoreResult, run_parallel
+from repro.uarch.kernel import kernel_enabled, run_trace_batch
+from repro.uarch.multicore import MulticoreResult, run_parallel, \
+    run_parallel_batch
 from repro.uarch.ooo import SimResult, run_trace
 from repro.workloads.generator import generate_trace
 from repro.workloads.parallel import parallel_profiles
@@ -91,7 +93,8 @@ def _trace_for(profile: AppProfile, uops: int, seed: int):
 
 
 def execute_spec(spec: SimSpec):
-    """Run one spec to completion (in this process)."""
+    """Run one spec to completion (in this process), via the scalar
+    oracle path (``OutOfOrderCore.run`` / ``run_parallel``)."""
     if spec.mode == "single":
         trace = _trace_for(spec.profile, spec.uops, spec.seed)
         return run_trace(spec.config, trace)
@@ -103,6 +106,50 @@ def _timed_execute_spec(spec: SimSpec):
     start = time.perf_counter()
     result = execute_spec(spec)
     return result, time.perf_counter() - start
+
+
+def execute_spec_group(specs: Sequence[SimSpec]):
+    """Run a group of specs sharing one (mode, profile, uops, seed).
+
+    Groups of two or more go through the batched SoA kernel — one trace
+    decode, one cache/predictor replay per geometry, per-config timing
+    only — unless ``$REPRO_KERNEL=0`` disables it.  Returns
+    ``(results, used_kernel)``; results are in spec order and identical
+    either way (the kernel is cycle-exact against the oracle).
+    """
+    first = specs[0]
+    if len(specs) > 1 and kernel_enabled():
+        configs = [spec.config for spec in specs]
+        if first.mode == "single":
+            trace = _trace_for(first.profile, first.uops, first.seed)
+            return run_trace_batch(configs, trace), True
+        return run_parallel_batch(configs, first.profile, first.uops,
+                                  seed=first.seed), True
+    return [execute_spec(spec) for spec in specs], False
+
+
+def _timed_execute_group(specs: Sequence[SimSpec]):
+    """Worker-side wrapper: (results, wall seconds, used_kernel)."""
+    start = time.perf_counter()
+    results, used_kernel = execute_spec_group(specs)
+    return results, time.perf_counter() - start, used_kernel
+
+
+def _group_missing(specs: Sequence[SimSpec],
+                   missing: Sequence[int]) -> List[List[int]]:
+    """Partition cache-missing spec indices into kernel batch groups.
+
+    Specs that share (mode, profile, uops, seed) — i.e. the same trace —
+    differ only in configuration and can be evaluated in one kernel
+    call.  Group order follows first appearance, so results stay
+    deterministic.
+    """
+    groups: "OrderedDict[tuple, List[int]]" = OrderedDict()
+    for index in missing:
+        spec = specs[index]
+        key = (spec.mode, spec.profile, spec.uops, spec.seed)
+        groups.setdefault(key, []).append(index)
+    return list(groups.values())
 
 
 # -- the engine ---------------------------------------------------------------
@@ -124,11 +171,14 @@ class ExperimentEngine:
     def run_specs(self, specs: Sequence[SimSpec]) -> List[object]:
         """Execute a batch of specs; results come back in spec order.
 
-        Cached specs are served without simulating; the misses run inline
-        (``jobs == 1``) or across a process pool, and are inserted into
-        the cache for the sweeps that follow.  Every batch leaves a
-        record in :attr:`telemetry` (hit/miss split, per-spec wall time,
-        aggregated pipeline stall counters).
+        Cached specs are served without simulating; the misses are
+        grouped by shared trace and each group runs through the batched
+        SoA kernel — inline (``jobs == 1``) or across a process pool
+        (one group per work unit) — then lands in the cache for the
+        sweeps that follow.  Every batch leaves a record in
+        :attr:`telemetry` (hit/miss split, kernel batch widths and
+        fallbacks, per-spec wall time — a group's time split evenly over
+        its specs — and aggregated pipeline stall counters).
         """
         batch_start = time.perf_counter()
         keys = [spec.cache_key() for spec in specs]
@@ -143,27 +193,34 @@ class ExperimentEngine:
         workers = 1
         durations: Dict[int, float] = {}
         if missing:
-            if self.jobs > 1 and len(missing) > 1:
-                workers = min(self.jobs, len(missing))
-                chunk = max(1, len(missing) // (workers * 4))
+            # Specs sharing a trace form one kernel batch: a group of N
+            # configs costs one decode + one replay per geometry + N
+            # timing passes instead of N full scalar simulations.
+            groups = _group_missing(specs, missing)
+            group_specs = [[specs[i] for i in group] for group in groups]
+            if self.jobs > 1 and len(groups) > 1:
+                workers = min(self.jobs, len(groups))
+                chunk = max(1, len(groups) // (workers * 4))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     timed = list(
-                        pool.map(_timed_execute_spec,
-                                 [specs[i] for i in missing],
+                        pool.map(_timed_execute_group, group_specs,
                                  chunksize=chunk)
                     )
-                fresh = [result for result, _ in timed]
-                for index, (_, seconds) in zip(missing, timed):
-                    durations[index] = seconds
             else:
-                fresh = []
-                for index in missing:
-                    result, seconds = _timed_execute_spec(specs[index])
-                    fresh.append(result)
-                    durations[index] = seconds
-            for index, value in zip(missing, fresh):
-                results[index] = value
-                self.cache.put(keys[index], value)
+                timed = [_timed_execute_group(batch) for batch in group_specs]
+            for group, (fresh, seconds, used_kernel) in zip(groups, timed):
+                first = specs[group[0]]
+                share = seconds / len(group)
+                for index, value in zip(group, fresh):
+                    results[index] = value
+                    self.cache.put(keys[index], value)
+                    durations[index] = share
+                self.telemetry.record_kernel_batch(
+                    mode=first.mode,
+                    width=len(group),
+                    seconds=seconds,
+                    used_kernel=used_kernel,
+                )
         telemetry = self.telemetry
         telemetry.record_batch(
             specs=len(specs),

@@ -6,8 +6,12 @@ the paper's bar charts, plus the suite average the text quotes.
 
 All sweeps execute through :mod:`repro.engine`: figure6, figure7 and
 figure8 share one cached single-core sweep, figure9 and figure10 one
-multicore sweep, and ``--jobs`` fans the (app, config) pairs across
-worker processes without changing any result.
+multicore sweep, and ``--jobs`` fans the work across worker processes
+without changing any result.  Within a sweep, each application's full
+config lineup is evaluated as one :mod:`repro.uarch.kernel` batch —
+one trace decode and one cache/predictor replay per L2 geometry serve
+every configuration — so a figure costs roughly one simulation per app,
+not one per (app, config) pair.
 """
 
 from __future__ import annotations

@@ -88,6 +88,12 @@ def main() -> None:
     stats = engine.get_engine().cache.stats
     print(f"\nTotal experiment time: {time.time() - started:.1f}s "
           f"(cache: {stats.hits} hits, {stats.misses} misses)")
+    kernel = engine.get_engine().telemetry.kernel_summary()
+    if kernel["groups"]:
+        print(f"kernel: {kernel['batched_specs']} specs batched across "
+              f"{kernel['groups']} groups (max width {kernel['max_width']}, "
+              f"{kernel['fallback_specs']} scalar fallbacks, "
+              f"{kernel['singleton_specs']} singletons)")
 
     destination = metrics_path(args.metrics_out)
     if destination:

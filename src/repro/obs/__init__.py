@@ -23,15 +23,25 @@ from repro.obs.manifest import (
     validate_manifest,
     write_manifest,
 )
-from repro.obs.telemetry import BatchRecord, EngineTelemetry, SpecTiming
+from repro.obs.telemetry import (
+    BatchRecord,
+    EngineTelemetry,
+    KernelBatchRecord,
+    ModelDisagreementWarning,
+    SpecTiming,
+    warn_model_disagreement,
+)
 from repro.obs.timer import TimerSpan, drain_spans, recorded_spans, timer
 
 __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "BatchRecord",
     "EngineTelemetry",
+    "KernelBatchRecord",
     "ManifestError",
+    "ModelDisagreementWarning",
     "SpecTiming",
+    "warn_model_disagreement",
     "TimerSpan",
     "build_manifest",
     "check_manifest",

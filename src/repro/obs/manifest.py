@@ -30,7 +30,8 @@ from typing import Any, Dict, List, Optional
 from repro.obs.timer import TimerSpan, recorded_spans
 
 #: Current manifest schema identifier; bump when the shape changes.
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v1"
+#: v2 added the ``kernel`` section (batched SoA-kernel usage records).
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v2"
 
 
 class ManifestError(ValueError):
@@ -87,6 +88,12 @@ def build_manifest(command: str, engine: Optional[object] = None,
             "disk_put_failures": stats.disk_put_failures,
         },
         "batches": [batch.as_record() for batch in telemetry.batches],
+        "kernel": {
+            "summary": telemetry.kernel_summary(),
+            "batches": [
+                record.as_record() for record in telemetry.kernel_batches
+            ],
+        },
         "specs": [spec.as_record() for spec in telemetry.spec_timings],
         "stalls": dict(telemetry.stall_cycles),
         "counters": dict(telemetry.counters),
@@ -150,6 +157,20 @@ _SPEC_FIELDS = {
     "seconds": (int, float, type(None)),
 }
 _TIMER_FIELDS = {"name": str, "seconds": (int, float)}
+_KERNEL_SUMMARY_FIELDS = {
+    "groups": int,
+    "batched_specs": int,
+    "fallback_specs": int,
+    "singleton_specs": int,
+    "max_width": int,
+    "seconds": (int, float),
+}
+_KERNEL_BATCH_FIELDS = {
+    "mode": str,
+    "width": int,
+    "seconds": (int, float),
+    "used_kernel": bool,
+}
 
 
 def _typecheck(value: Any, expected, where: str, problems: List[str]) -> None:
@@ -229,6 +250,21 @@ def validate_manifest(manifest: Any) -> List[str]:
             continue
         for index, entry in enumerate(entries):
             _check_record(entry, fields, f"{section}[{index}]", problems)
+    kernel = manifest.get("kernel")
+    if not isinstance(kernel, dict):
+        problems.append(f"kernel: expected an object, got "
+                        f"{type(kernel).__name__}")
+    else:
+        _check_record(kernel.get("summary"), _KERNEL_SUMMARY_FIELDS,
+                      "kernel.summary", problems)
+        entries = kernel.get("batches")
+        if not isinstance(entries, list):
+            problems.append(f"kernel.batches: expected a list, got "
+                            f"{type(entries).__name__}")
+        else:
+            for index, entry in enumerate(entries):
+                _check_record(entry, _KERNEL_BATCH_FIELDS,
+                              f"kernel.batches[{index}]", problems)
     _check_counter_map(manifest.get("stalls"), "stalls", problems)
     _check_counter_map(manifest.get("mem_level_counts"), "mem_level_counts",
                        problems)

@@ -83,11 +83,47 @@ class BatchRecord:
         }
 
 
+@dataclasses.dataclass
+class KernelBatchRecord:
+    """One same-trace spec group: how it was executed and how wide.
+
+    ``used_kernel`` is False when the group fell back to the scalar
+    oracle — singleton groups (nothing to batch) or ``$REPRO_KERNEL=0``.
+    """
+
+    mode: str
+    width: int
+    seconds: float
+    used_kernel: bool
+
+    def as_record(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "width": self.width,
+            "seconds": round(self.seconds, 6),
+            "used_kernel": self.used_kernel,
+        }
+
+
+class ModelDisagreementWarning(UserWarning):
+    """The cycle model and the analytical interval model disagree on the
+    *direction* of a config-to-config CPI change — one of them is
+    mismodelling the configuration delta."""
+
+
+def warn_model_disagreement(message: str) -> None:
+    """Emit a :class:`ModelDisagreementWarning` (sweep cross-checks)."""
+    import warnings
+
+    warnings.warn(message, ModelDisagreementWarning, stacklevel=3)
+
+
 class EngineTelemetry:
     """Accumulates everything one engine did, for the run manifest."""
 
     def __init__(self) -> None:
         self.batches: List[BatchRecord] = []
+        self.kernel_batches: List[KernelBatchRecord] = []
         self.spec_timings: List[SpecTiming] = []
         self.stall_cycles: Dict[str, int] = {}
         self.counters: Dict[str, int] = {name: 0 for name in COUNTER_FIELDS}
@@ -98,6 +134,40 @@ class EngineTelemetry:
     def record_batch(self, specs: int, hits: int, misses: int,
                      seconds: float, workers: int) -> None:
         self.batches.append(BatchRecord(specs, hits, misses, seconds, workers))
+
+    def record_kernel_batch(self, mode: str, width: int, seconds: float,
+                            used_kernel: bool) -> None:
+        self.kernel_batches.append(
+            KernelBatchRecord(mode, width, seconds, used_kernel)
+        )
+
+    def kernel_summary(self) -> Dict[str, object]:
+        """Aggregate kernel usage: how many specs were batched through
+        the SoA kernel vs fell back to the scalar oracle.
+
+        ``fallback_specs`` counts only specs in groups wide enough to
+        batch (width >= 2) that ran scalar anyway — singletons have
+        nothing to batch and are reported separately."""
+        batched = fallback = singleton = 0
+        max_width = 0
+        seconds = 0.0
+        for record in self.kernel_batches:
+            seconds += record.seconds
+            if record.used_kernel:
+                batched += record.width
+                max_width = max(max_width, record.width)
+            elif record.width > 1:
+                fallback += record.width
+            else:
+                singleton += 1
+        return {
+            "groups": len(self.kernel_batches),
+            "batched_specs": batched,
+            "fallback_specs": fallback,
+            "singleton_specs": singleton,
+            "max_width": max_width,
+            "seconds": round(seconds, 6),
+        }
 
     def record_spec(self, key: str, mode: str, config: str, profile: str,
                     uops: int, seed: int, cached: bool,

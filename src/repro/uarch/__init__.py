@@ -8,9 +8,19 @@ from repro.uarch.cache import (
     CoherenceDirectory,
     SetAssociativeCache,
 )
-from repro.uarch.interval import WorkloadStats, predict_cpi, predict_speedup
+from repro.uarch.interval import (
+    WorkloadStats,
+    predict_cpi,
+    predict_speedup,
+    workload_stats_from_sim,
+)
 from repro.uarch.isa import FU_POOLS, OP_LATENCY, MicroOp, OpClass, Trace
-from repro.uarch.multicore import MulticoreResult, run_parallel
+from repro.uarch.kernel import kernel_enabled, run_trace_batch
+from repro.uarch.multicore import (
+    MulticoreResult,
+    run_parallel,
+    run_parallel_batch,
+)
 from repro.uarch.noc import RingNoc
 from repro.uarch.ooo import OutOfOrderCore, SimResult, SimStats, run_trace
 
@@ -24,6 +34,10 @@ __all__ = [
     "WorkloadStats",
     "predict_cpi",
     "predict_speedup",
+    "workload_stats_from_sim",
+    "kernel_enabled",
+    "run_trace_batch",
+    "run_parallel_batch",
     "FU_POOLS",
     "OP_LATENCY",
     "MicroOp",

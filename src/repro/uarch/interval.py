@@ -55,6 +55,25 @@ def predict_cpi(config: CoreConfig, workload: WorkloadStats,
     return cpi
 
 
+def workload_stats_from_sim(result) -> WorkloadStats:
+    """First-order workload statistics extracted from a cycle-model run.
+
+    ``result`` is a :class:`~repro.uarch.ooo.SimResult` (or anything with
+    compatible ``.stats``).  The rates are per *measured* uop;
+    ``mem_level_counts`` buckets loads by the level that served them, so
+    L3 hits are the cycle model's L2 misses and DRAM hits its L3 misses
+    — exactly the two event classes the interval model charges for.
+    """
+    stats = getattr(result, "stats", result)
+    uops = max(1, stats.uops)
+    levels = getattr(stats, "mem_level_counts", {}) or {}
+    return WorkloadStats(
+        mispredicts_per_kilo=stats.mispredictions * 1000.0 / uops,
+        l2_misses_per_kilo=levels.get("L3", 0) * 1000.0 / uops,
+        dram_misses_per_kilo=levels.get("DRAM", 0) * 1000.0 / uops,
+    )
+
+
 def predict_runtime(config: CoreConfig, workload: WorkloadStats,
                     instructions: int) -> float:
     """Predicted wall-clock seconds for ``instructions``."""

@@ -1,0 +1,1005 @@
+"""Batched structure-of-arrays timing kernel.
+
+Every figure/table sweep re-simulates the *same trace* under
+configurations that differ only in latencies, widths and frequency.  The
+scalar :class:`~repro.uarch.ooo.OutOfOrderCore` interleaves three kinds
+of work per micro-op:
+
+1. **trace decoding** — attribute lookups on :class:`MicroOp` objects,
+2. **microarchitectural state that is configuration-independent** — the
+   branch predictor outcome and the cache level each access is served
+   from depend only on the access *sequence* and the L2 geometry
+   (``shared_l2`` is the single config knob that changes cache contents;
+   per-level latencies are pure table lookups),
+3. **timing recurrences** — the only part that actually varies per
+   configuration.
+
+This kernel factors the three apart.  A trace is decoded **once** into
+flat arrays (op class codes, producer distances, FU latencies); the
+predictor and cache hierarchy are replayed **once per cache geometry**
+into per-access level/outcome arrays; and the timing recurrences are
+then evaluated per configuration against those arrays — either with a
+tight decoded scalar loop (no cache/predictor/decode work left in it) or,
+for wide batches, with the issue/execute/commit recurrences broadcast
+over a ``(N,)`` configuration axis in NumPy.  The in-order width
+limiters vectorize exactly via the closed form
+
+    ``c[i] = max(e[i], c[i-1], c[i-width] + 1)``
+
+(the cycle of the i-th allocation of a ``_WidthLimiter`` fed earliest
+cycles ``e``); the out-of-order issue/FU occupancy maps keep their exact
+first-fit semantics per configuration.
+
+:func:`run_trace_batch` is the public entry point; it is **cycle-exact**
+against the scalar oracle — same ``SimResult``, same stats, same stall
+attribution — which the property tests assert op-for-op.  The scalar
+:meth:`OutOfOrderCore.run` remains the reference implementation (the
+same oracle pattern as the thermal solver's reference path).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.configs import CoreConfig
+from repro.uarch import ooo as _ooo
+from repro.uarch.bpred import TournamentPredictor
+from repro.uarch.cache import (
+    PREFETCH_DEGREE,
+    CacheHierarchy,
+    CoherenceDirectory,
+)
+from repro.uarch.isa import (
+    FP_DIV_ISSUE_INTERVAL,
+    FU_POOLS,
+    OP_LATENCY,
+    OpClass,
+    Trace,
+)
+from repro.uarch.ooo import (
+    FETCH_BLOCK_UOPS,
+    FRONT_END_DEPTH,
+    SimResult,
+    SimStats,
+    _FuPool,
+    _PerCycleBandwidth,
+)
+
+#: Batch width at which the NumPy ``(N,)`` path beats N tight scalar
+#: loops.  Small-array overhead (~0.5-1us per vector op, ~25 ops per
+#: uop) loses to a ~1.5us/uop Python loop until the batch is wide;
+#: override with ``$REPRO_KERNEL_VECTOR_MIN``.
+DEFAULT_VECTOR_MIN = 16
+
+#: Stable integer encoding of :class:`OpClass` (SoA op-code arrays).
+_OP_ORDER = tuple(OpClass)
+_CODE = {op: index for index, op in enumerate(_OP_ORDER)}
+_LOAD = _CODE[OpClass.LOAD]
+_STORE = _CODE[OpClass.STORE]
+_BRANCH = _CODE[OpClass.BRANCH]
+_COMPLEX = _CODE[OpClass.COMPLEX]
+_SYNC = _CODE[OpClass.SYNC]
+_DIV = _CODE[OpClass.DIV]
+_FP_DIV = _CODE[OpClass.FP_DIV]
+_FP_ADD = _CODE[OpClass.FP_ADD]
+_FP_MUL = _CODE[OpClass.FP_MUL]
+_LAT = tuple(OP_LATENCY[op] for op in _OP_ORDER)
+_POOL_SIZES = tuple(FU_POOLS[op] for op in _OP_ORDER)
+
+#: Memory levels in fixed order; replay stores per-access level codes.
+_LEVELS = ("L1", "L2", "L3", "DRAM")
+
+
+def kernel_enabled() -> bool:
+    """Whether the engine should route batches through this kernel
+    (``$REPRO_KERNEL=0`` disables it; the scalar oracle runs instead)."""
+    value = os.environ.get("REPRO_KERNEL", "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
+def vector_min_width() -> int:
+    """Minimum batch width for the NumPy ``(N,)`` path (env-tunable)."""
+    raw = os.environ.get("REPRO_KERNEL_VECTOR_MIN", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_VECTOR_MIN
+
+
+# -- SoA decode ---------------------------------------------------------------
+
+
+class TraceArrays:
+    """Flat, configuration-independent decode of a trace's measured region."""
+
+    __slots__ = (
+        "n", "codes", "src1", "src2", "lat", "busy",
+        "load_pos", "store_pos", "sync_pos", "load_pos_np", "store_pos_np",
+        "loads", "stores", "branches", "fp_ops", "complex_decodes",
+        "ifetch_blocks",
+    )
+
+    def __init__(self, trace: Trace) -> None:
+        ops = trace.ops[trace.warmup_ops:]
+        n = len(ops)
+        self.n = n
+        codes = [0] * n
+        src1 = [0] * n
+        src2 = [0] * n
+        lat = [0] * n
+        busy = [0] * n
+        load_pos: List[int] = []
+        store_pos: List[int] = []
+        sync_pos: List[int] = []
+        branches = fp_ops = complex_decodes = 0
+        code_of = _CODE
+        for i, uop in enumerate(ops):
+            code = code_of[uop.op]
+            codes[i] = code
+            # A producer distance beyond the measured prefix never gates
+            # (the oracle's ``dist <= i`` check); encode it as "ready".
+            dist = uop.src1
+            if dist is not None and dist <= i:
+                src1[i] = dist
+            dist = uop.src2
+            if dist is not None and dist <= i:
+                src2[i] = dist
+            latency = _LAT[code]
+            lat[i] = latency
+            # Table 9: only the divides block their unit for the full
+            # latency; everything else is pipelined.
+            busy[i] = latency if (code == _DIV or code == _FP_DIV) else 1
+            if code == _LOAD:
+                load_pos.append(i)
+            elif code == _STORE:
+                store_pos.append(i)
+            elif code == _BRANCH:
+                branches += 1
+            elif code == _COMPLEX:
+                complex_decodes += 1
+            elif code == _SYNC:
+                sync_pos.append(i)
+            elif code == _FP_ADD or code == _FP_MUL or code == _FP_DIV:
+                fp_ops += 1
+        self.codes = codes
+        self.src1 = src1
+        self.src2 = src2
+        self.lat = lat
+        self.busy = busy
+        self.load_pos = load_pos
+        self.store_pos = store_pos
+        self.sync_pos = sync_pos
+        self.load_pos_np = np.asarray(load_pos, dtype=np.int64)
+        self.store_pos_np = np.asarray(store_pos, dtype=np.int64)
+        self.loads = len(load_pos)
+        self.stores = len(store_pos)
+        self.branches = branches
+        self.fp_ops = fp_ops
+        self.complex_decodes = complex_decodes
+        self.ifetch_blocks = (n + FETCH_BLOCK_UOPS - 1) // FETCH_BLOCK_UOPS
+
+
+class MemoryImage:
+    """Per-geometry replay outcome: which level served every access.
+
+    The cache hierarchy's hit/miss/level sequence depends on the
+    configuration only through ``shared_l2`` (the sole geometry knob in
+    :class:`CacheHierarchy`); per-level *latencies* are pure config
+    lookups applied afterwards.  The coherence ``remote`` flags depend
+    on the access order alone.
+    """
+
+    __slots__ = ("fetch_levels", "load_levels", "load_remote", "any_remote",
+                 "mem_level_counts")
+
+    def __init__(self, fetch_levels, load_levels, load_remote,
+                 mem_level_counts) -> None:
+        self.fetch_levels = np.asarray(fetch_levels, dtype=np.int64)
+        self.load_levels = np.asarray(load_levels, dtype=np.int64)
+        self.load_remote = np.asarray(load_remote, dtype=np.int64)
+        self.any_remote = bool(self.load_remote.any()) if load_remote else False
+        self.mem_level_counts = mem_level_counts
+
+
+def _kernel_state(trace: Trace) -> dict:
+    """Decode/replay memo attached to the trace object itself (a trace
+    is immutable once generated, so its decode never invalidates)."""
+    state = getattr(trace, "_kernel_state", None)
+    if state is None:
+        state = {"images": {}}
+        trace._kernel_state = state
+    return state
+
+
+def decode(trace: Trace) -> TraceArrays:
+    """SoA decode of the measured region, memoized on the trace."""
+    state = _kernel_state(trace)
+    arrays = state.get("arrays")
+    if arrays is None:
+        arrays = TraceArrays(trace)
+        state["arrays"] = arrays
+    return arrays
+
+
+def branch_outcomes(trace: Trace) -> List[bool]:
+    """Per-branch predictor outcomes for the measured region, memoized.
+
+    The tournament predictor is fully configuration-independent, so the
+    warmup-train + measured-predict replay is a pure function of the
+    trace.
+    """
+    state = _kernel_state(trace)
+    corrects = state.get("branches")
+    if corrects is None:
+        predictor = TournamentPredictor()
+        predict_and_train = predictor.predict_and_train
+        ops = trace.ops
+        warmup = trace.warmup_ops
+        BRANCH = OpClass.BRANCH
+        for i in range(warmup):
+            uop = ops[i]
+            if uop.op is BRANCH:
+                predict_and_train(uop.pc, uop.taken)
+        corrects = []
+        for i in range(warmup, len(ops)):
+            uop = ops[i]
+            if uop.op is BRANCH:
+                corrects.append(predict_and_train(uop.pc, uop.taken))
+        state["branches"] = corrects
+    return corrects
+
+
+def _level_walker(cache):
+    """Hit/miss-only access closure over one cache level's raw tag lists.
+
+    Replay needs the serving *level*; latencies are per-config lookups
+    applied later.  Walking the per-set lists directly skips the
+    ``AccessResult`` allocation and hit/miss bookkeeping of
+    :meth:`SetAssociativeCache.access` — the hierarchy is replay-private,
+    so its counters are never read.  Build walkers only *after*
+    ``preload`` (which may swap the ``_lines`` object wholesale).
+    """
+    lines = cache._lines
+    sets = cache.sets
+    ways = cache.ways
+    line_bytes = cache.line_bytes
+
+    def walk(address: int) -> bool:
+        tag = address // line_bytes
+        line = lines[tag % sets]
+        if tag in line:
+            line.remove(tag)
+            line.append(tag)
+            return True
+        line.append(tag)
+        if len(line) > ways:
+            line.pop(0)
+        return False
+
+    return walk
+
+
+def replay_memory(trace: Trace, donor_config: CoreConfig, core_id: int = 0,
+                  coherence: Optional[CoherenceDirectory] = None,
+                  noc_penalty: int = 0) -> MemoryImage:
+    """Replay preload + warmup + measured accesses through the real
+    cache hierarchy (and coherence directory, when given), recording the
+    level that served each instruction block and each load.
+
+    The donor config only contributes its cache *geometry*
+    (``shared_l2``); single-core images are memoized on the trace per
+    geometry.  Multicore replays are coupled across cores through the
+    shared directory, so their caller sequences and memoizes them.
+    """
+    single = coherence is None
+    if single:
+        images: Dict[bool, MemoryImage] = _kernel_state(trace)["images"]
+        image = images.get(donor_config.shared_l2)
+        if image is not None:
+            return image
+    caches = CacheHierarchy(donor_config, core_id, None)
+    if trace.resident_data or trace.resident_code:
+        caches.preload(trace.resident_data, trace.resident_code)
+    ops = trace.ops
+    warmup = trace.warmup_ops
+    LOAD = OpClass.LOAD
+    STORE = OpClass.STORE
+    il1 = _level_walker(caches.il1)
+    dl1 = _level_walker(caches.dl1)
+    l2 = _level_walker(caches.l2)
+    l3 = _level_walker(caches.l3)
+    l2_line = caches.l2.line_bytes
+    prefetch_spans = tuple(
+        ahead * l2_line for ahead in range(1, PREFETCH_DEGREE + 1)
+    )
+    account = coherence.account if coherence is not None else None
+
+    def fetch_code(address: int) -> int:
+        """Level code of an instruction fetch (IL1 -> L2 -> L3 -> DRAM)."""
+        if il1(address):
+            return 0
+        if l2(address):
+            return 1
+        if l3(address):
+            return 2
+        return 3
+
+    def data_code(address: int) -> int:
+        """Level code of a data access, including the L2-miss stream
+        prefetch touches, in :meth:`CacheHierarchy.data_access` order."""
+        if dl1(address):
+            return 0
+        if l2(address):
+            return 1
+        for span in prefetch_spans:
+            next_line = address + span
+            l2(next_line)
+            l3(next_line)
+        if l3(address):
+            return 2
+        return 3
+
+    # Warmup replay, cache (and coherence) side only: the oracle's
+    # ``warmup`` touches the predictor too, but the two systems never
+    # interact, so the split replay is exact.  The directory account runs
+    # *before* the cache lookup, matching ``CacheHierarchy.data_access``.
+    for i in range(warmup):
+        uop = ops[i]
+        if i % FETCH_BLOCK_UOPS == 0:
+            fetch_code(uop.pc if uop.pc else i * 4)
+        op = uop.op
+        if op is LOAD or op is STORE:
+            if account is not None:
+                account(core_id, uop.address, op is STORE, noc_penalty)
+            data_code(uop.address)
+    fetch_levels: List[int] = []
+    load_levels: List[int] = []
+    load_remote: List[int] = []
+    code_counts = [0, 0, 0, 0]
+    for i in range(warmup, len(ops)):
+        uop = ops[i]
+        measured_index = i - warmup
+        if measured_index % FETCH_BLOCK_UOPS == 0:
+            fetch_levels.append(
+                fetch_code(uop.pc if uop.pc else measured_index * 4)
+            )
+        op = uop.op
+        if op is LOAD:
+            extra = 0
+            if account is not None:
+                extra = account(core_id, uop.address, False, noc_penalty)
+            code = data_code(uop.address)
+            code_counts[code] += 1
+            load_levels.append(code)
+            load_remote.append(1 if extra else 0)
+        elif op is STORE:
+            if account is not None:
+                account(core_id, uop.address, True, noc_penalty)
+            data_code(uop.address)
+    counts = {
+        level: count
+        for level, count in zip(_LEVELS, code_counts) if count
+    }
+    image = MemoryImage(fetch_levels, load_levels, load_remote, counts)
+    if single:
+        images[donor_config.shared_l2] = image
+    return image
+
+
+# -- per-config latency tables ------------------------------------------------
+
+
+def _load_done_terms(config: CoreConfig, image: MemoryImage,
+                     noc_penalty: int) -> np.ndarray:
+    """Per-load ``access.latency + load_extra`` under one config."""
+    table = np.array(
+        [
+            config.dl1_cycles,
+            config.l2_cycles,
+            config.l3_cycles + noc_penalty,
+            config.l3_cycles + noc_penalty + config.dram_cycles,
+        ],
+        dtype=np.int64,
+    )
+    terms = table[image.load_levels]
+    if image.any_remote:
+        terms = terms + image.load_remote * max(2, noc_penalty)
+    return terms + (config.load_to_use_cycles - 4)
+
+
+def _fetch_penalties(config: CoreConfig, image: MemoryImage) -> np.ndarray:
+    """Per-block ``access.latency - il1_cycles`` under one config."""
+    il1 = config.il1_cycles
+    table = np.array(
+        [
+            0,
+            config.l2_cycles - il1,
+            config.l3_cycles - il1,
+            config.l3_cycles + config.dram_cycles - il1,
+        ],
+        dtype=np.int64,
+    )
+    return table[image.fetch_levels]
+
+
+# -- scalar timing path -------------------------------------------------------
+
+
+def _time_one(trace: Trace, arrays: TraceArrays, corrects: Sequence[bool],
+              image: MemoryImage, config: CoreConfig,
+              noc_penalty: int = 0) -> SimResult:
+    """Tight decoded timing loop for one configuration.
+
+    A transliteration of :meth:`OutOfOrderCore.run` with all decode,
+    cache and predictor work replaced by the precomputed arrays; the
+    width limiters are inlined, the issue/FU occupancy maps are the real
+    ones (same first-fit walks, same pruning schedule) so the schedule —
+    and the tracked-cycle telemetry — is identical to the oracle's.
+    """
+    cfg = config
+    n = arrays.n
+    codes = arrays.codes
+    src1 = arrays.src1
+    src2 = arrays.src2
+    lat_l = arrays.lat
+    busy_l = arrays.busy
+    load_done = _load_done_terms(cfg, image, noc_penalty).tolist()
+    fetch_pen = _fetch_penalties(cfg, image).tolist()
+
+    completion = [0] * n
+    issue_at = [0] * n
+    commit_at = [0] * n
+
+    # In-order width limiters, inlined (_WidthLimiter state pairs).
+    f_width = cfg.dispatch_width * 2
+    f_cycle = f_used = 0
+    r_width = cfg.dispatch_width
+    r_cycle = r_used = 0
+    c_width = cfg.commit_width
+    c_cycle = c_used = 0
+    issue_slots = _PerCycleBandwidth(cfg.issue_width)
+    issue_alloc = issue_slots.allocate
+    pools = [_FuPool(count) for count in _POOL_SIZES]
+    reserves = [pool.reserve for pool in pools]
+
+    rob_entries = cfg.rob_entries
+    iq_entries = cfg.iq_entries
+    lq_entries = cfg.lq_entries
+    sq_entries = cfg.sq_entries
+    hetero = cfg.hetero
+    refill = max(1, cfg.branch_mispredict_cycles - FRONT_END_DEPTH)
+    lq_inflight: deque = deque(maxlen=lq_entries)
+    sq_inflight: deque = deque(maxlen=sq_entries)
+
+    redirect_free = 0
+    fetch_block_ready = 0
+    last_fp_div_issue = -FP_DIV_ISSUE_INTERVAL
+    prune_interval = _ooo.PRUNE_INTERVAL
+    prune_at = prune_interval
+    rename = 0
+    k_load = k_branch = k_block = 0
+    stall_fetch_icache = stall_fetch_redirect = 0
+    stall_rename_bw = stall_rob = stall_iq = stall_lq = stall_sq = 0
+    stall_decode = stall_operand = stall_fu = stall_issue_bw = 0
+
+    LOAD = _LOAD
+    STORE = _STORE
+    BRANCH = _BRANCH
+    COMPLEX = _COMPLEX
+    FP_DIV = _FP_DIV
+
+    for i in range(n):
+        code = codes[i]
+        # ---- fetch ---------------------------------------------------------
+        if i % FETCH_BLOCK_UOPS == 0:
+            penalty = fetch_pen[k_block]
+            k_block += 1
+            base = fetch_block_ready
+            if redirect_free > base:
+                stall_fetch_redirect += redirect_free - base
+                base = redirect_free
+            if penalty > 0:
+                stall_fetch_icache += penalty
+                fetch_block_ready = base + penalty
+            else:
+                fetch_block_ready = base
+        earliest = (fetch_block_ready
+                    if fetch_block_ready >= redirect_free else redirect_free)
+        if earliest > f_cycle:
+            f_cycle = earliest
+            f_used = 0
+        if f_used >= f_width:
+            f_cycle += 1
+            f_used = 0
+        f_used += 1
+
+        # ---- rename/dispatch: ROB/IQ/LQ/SQ occupancy -----------------------
+        earliest = f_cycle + FRONT_END_DEPTH
+        if i >= rob_entries:
+            gate = commit_at[i - rob_entries]
+            if gate > earliest:
+                stall_rob += gate - earliest
+                earliest = gate
+        if i >= iq_entries:
+            gate = issue_at[i - iq_entries]
+            if gate > earliest:
+                stall_iq += gate - earliest
+                earliest = gate
+        if code == LOAD:
+            if len(lq_inflight) == lq_entries:
+                gate = commit_at[lq_inflight[0]]
+                if gate > earliest:
+                    stall_lq += gate - earliest
+                    earliest = gate
+            lq_inflight.append(i)
+        elif code == STORE:
+            if len(sq_inflight) == sq_entries:
+                gate = commit_at[sq_inflight[0]]
+                if gate > earliest:
+                    stall_sq += gate - earliest
+                    earliest = gate
+            sq_inflight.append(i)
+        elif code == COMPLEX:
+            if hetero:
+                earliest += 1
+                stall_decode += 1
+        if earliest > r_cycle:
+            r_cycle = earliest
+            r_used = 0
+        if r_used >= r_width:
+            r_cycle += 1
+            r_used = 0
+        r_used += 1
+        rename = r_cycle
+        if rename > earliest:
+            stall_rename_bw += rename - earliest
+
+        # ---- register readiness --------------------------------------------
+        ready = rename + 1
+        dist = src1[i]
+        if dist:
+            produced = completion[i - dist]
+            if produced > ready:
+                ready = produced
+        dist = src2[i]
+        if dist:
+            produced = completion[i - dist]
+            if produced > ready:
+                ready = produced
+        if ready > rename + 1:
+            stall_operand += ready - (rename + 1)
+
+        # ---- issue ---------------------------------------------------------
+        if code == FP_DIV:
+            refractory = last_fp_div_issue + FP_DIV_ISSUE_INTERVAL
+            if refractory > ready:
+                stall_fu += refractory - ready
+                ready = refractory
+        start = reserves[code](ready, busy_l[i])
+        if start > ready:
+            stall_fu += start - ready
+        issue = issue_alloc(start)
+        if issue > start:
+            stall_issue_bw += issue - start
+        issue_at[i] = issue
+        if code == FP_DIV:
+            last_fp_div_issue = issue
+
+        # ---- execute -------------------------------------------------------
+        done = issue + lat_l[i]
+        if code == LOAD:
+            done = issue + load_done[k_load]
+            k_load += 1
+        elif code == BRANCH:
+            if not corrects[k_branch]:
+                if done + refill > redirect_free:
+                    redirect_free = done + refill
+            k_branch += 1
+        completion[i] = done
+
+        # ---- commit --------------------------------------------------------
+        prev_commit = commit_at[i - 1] if i else 0
+        target = done + 1 if done + 1 > prev_commit else prev_commit
+        if target > c_cycle:
+            c_cycle = target
+            c_used = 0
+        if c_used >= c_width:
+            c_cycle += 1
+            c_used = 0
+        c_used += 1
+        commit_at[i] = c_cycle
+
+        # ---- bookkeeping ---------------------------------------------------
+        if i >= prune_at:
+            prune_at = i + prune_interval
+            issue_slots.prune(rename)
+            for pool in pools:
+                pool.prune(rename)
+
+    tracked = issue_slots.tracked_cycles + sum(
+        pool.tracked_cycles for pool in pools
+    )
+    return _build_result(
+        trace, arrays, corrects, image, cfg, commit_at,
+        stall_cycles={
+            "fetch_icache": stall_fetch_icache,
+            "fetch_redirect": stall_fetch_redirect,
+            "rename_bw": stall_rename_bw,
+            "rob": stall_rob,
+            "iq": stall_iq,
+            "lq": stall_lq,
+            "sq": stall_sq,
+            "decode": stall_decode,
+            "operand": stall_operand,
+            "fu": stall_fu,
+            "issue_bw": stall_issue_bw,
+        },
+        sync_commit_cycles=[int(commit_at[p]) for p in arrays.sync_pos],
+        tracked_limiter_cycles=tracked,
+    )
+
+
+def _build_result(trace, arrays, corrects, image, config, commit_at,
+                  stall_cycles, sync_commit_cycles,
+                  tracked_limiter_cycles) -> SimResult:
+    stats = SimStats()
+    stats.uops = arrays.n
+    stats.cycles = int(commit_at[-1]) if arrays.n else 0
+    stats.branches = arrays.branches
+    stats.mispredictions = sum(1 for c in corrects if not c)
+    stats.loads = arrays.loads
+    stats.stores = arrays.stores
+    stats.fp_ops = arrays.fp_ops
+    stats.complex_decodes = arrays.complex_decodes
+    stats.ifetch_blocks = arrays.ifetch_blocks
+    stats.mem_level_counts = dict(image.mem_level_counts)
+    stats.sync_commit_cycles = sync_commit_cycles
+    stats.stall_cycles = stall_cycles
+    stats.tracked_limiter_cycles = tracked_limiter_cycles
+    return SimResult(
+        config_name=config.name,
+        trace_name=trace.name,
+        cycles=stats.cycles,
+        frequency=config.frequency,
+        stats=stats,
+    )
+
+
+# -- batched (N,) timing path -------------------------------------------------
+
+
+def _time_many(trace: Trace, arrays: TraceArrays, corrects: Sequence[bool],
+               image: MemoryImage, configs: Sequence[CoreConfig],
+               noc_penalty: int = 0) -> List[SimResult]:
+    """Evaluate the timing recurrences for all configs simultaneously.
+
+    Per-config widths/latencies become a ``(N,)`` axis; the per-uop
+    fetch/rename/issue/commit history becomes ``(n, N)`` arrays; the
+    in-order limiters use the closed-form recurrence; the ROB/IQ/LQ/SQ
+    gates become gathers with per-config window sizes.  Only the
+    out-of-order issue-bandwidth and FU occupancy maps (first-fit over
+    sparse per-cycle dicts, no closed form) stay per-config scalar.
+    """
+    N = len(configs)
+    n = arrays.n
+    int_ = np.int64
+    cols = np.arange(N)
+    codes = arrays.codes
+    src1 = arrays.src1
+    src2 = arrays.src2
+    lat_l = arrays.lat
+    busy_l = arrays.busy
+
+    disp = np.fromiter((c.dispatch_width for c in configs), int_, N)
+    fetch_w = disp * 2
+    commit_w = np.fromiter((c.commit_width for c in configs), int_, N)
+    rob = np.fromiter((c.rob_entries for c in configs), int_, N)
+    iq = np.fromiter((c.iq_entries for c in configs), int_, N)
+    lq = np.fromiter((c.lq_entries for c in configs), int_, N)
+    sq = np.fromiter((c.sq_entries for c in configs), int_, N)
+    hetero = np.fromiter((1 if c.hetero else 0 for c in configs), int_, N)
+    refill = np.maximum(
+        1,
+        np.fromiter((c.branch_mispredict_cycles for c in configs), int_, N)
+        - FRONT_END_DEPTH,
+    )
+    # (n_loads, N) / (n_blocks, N) latency terms from the shared image.
+    load_term = np.stack(
+        [_load_done_terms(c, image, noc_penalty) for c in configs], axis=1
+    ) if arrays.loads else np.zeros((0, N), int_)
+    fetch_pen = np.stack(
+        [_fetch_penalties(c, image) for c in configs], axis=1
+    ) if arrays.ifetch_blocks else np.zeros((0, N), int_)
+
+    fetch_c = np.zeros((n, N), int_)
+    rename_c = np.zeros((n, N), int_)
+    issue_np = np.zeros((n, N), int_)
+    commit_np = np.zeros((n, N), int_)
+    completion = np.zeros((n, N), int_)
+
+    issue_objs = [_PerCycleBandwidth(c.issue_width) for c in configs]
+    pool_rows = [[_FuPool(count) for count in _POOL_SIZES] for _ in configs]
+
+    zeros = np.zeros(N, int_)
+    redirect_free = zeros.copy()
+    fetch_block_ready = zeros.copy()
+    last_fp_div = np.full(N, -FP_DIV_ISSUE_INTERVAL, int_)
+    rename = zeros.copy()
+    stall_fetch_icache = zeros.copy()
+    stall_fetch_redirect = zeros.copy()
+    stall_rename_bw = zeros.copy()
+    stall_rob = zeros.copy()
+    stall_iq = zeros.copy()
+    stall_lq = zeros.copy()
+    stall_sq = zeros.copy()
+    stall_decode = zeros.copy()
+    stall_operand = zeros.copy()
+    stall_fu = zeros.copy()
+    stall_issue_bw = zeros.copy()
+
+    min_fetch_w = int(fetch_w.min()) if N else 0
+    min_disp = int(disp.min()) if N else 0
+    min_commit = int(commit_w.min()) if N else 0
+    min_rob = int(rob.min()) if N else 0
+    min_iq = int(iq.min()) if N else 0
+    min_lq = int(lq.min()) if N else 0
+    min_sq = int(sq.min()) if N else 0
+
+    prune_interval = _ooo.PRUNE_INTERVAL
+    prune_at = prune_interval
+    k_load = k_store = k_branch = k_block = 0
+
+    LOAD = _LOAD
+    STORE = _STORE
+    BRANCH = _BRANCH
+    COMPLEX = _COMPLEX
+    FP_DIV = _FP_DIV
+    load_pos_np = arrays.load_pos_np
+    store_pos_np = arrays.store_pos_np
+
+    for i in range(n):
+        code = codes[i]
+        # ---- fetch ---------------------------------------------------------
+        if i % FETCH_BLOCK_UOPS == 0:
+            penalty = fetch_pen[k_block]
+            k_block += 1
+            base = fetch_block_ready
+            advance = np.where(redirect_free > base, redirect_free - base, 0)
+            stall_fetch_redirect += advance
+            pos_pen = np.where(penalty > 0, penalty, 0)
+            stall_fetch_icache += pos_pen
+            fetch_block_ready = base + advance + pos_pen
+        earliest = np.maximum(fetch_block_ready, redirect_free)
+        if i:
+            fetched = np.maximum(earliest, fetch_c[i - 1])
+        else:
+            fetched = earliest
+        if i >= min_fetch_w:
+            back = i - fetch_w
+            gathered = fetch_c[np.maximum(back, 0), cols] + 1
+            fetched = np.maximum(fetched, np.where(back >= 0, gathered, 0))
+        fetch_c[i] = fetched
+
+        # ---- rename/dispatch gates -----------------------------------------
+        earliest = fetched + FRONT_END_DEPTH
+        if i >= min_rob:
+            back = i - rob
+            gate = commit_np[np.maximum(back, 0), cols]
+            add = np.where((back >= 0) & (gate > earliest), gate - earliest, 0)
+            stall_rob += add
+            earliest = earliest + add
+        if i >= min_iq:
+            back = i - iq
+            gate = issue_np[np.maximum(back, 0), cols]
+            add = np.where((back >= 0) & (gate > earliest), gate - earliest, 0)
+            stall_iq += add
+            earliest = earliest + add
+        if code == LOAD:
+            if k_load >= min_lq:
+                back = k_load - lq
+                rows = load_pos_np[np.maximum(back, 0)]
+                gate = commit_np[rows, cols]
+                add = np.where((back >= 0) & (gate > earliest),
+                               gate - earliest, 0)
+                stall_lq += add
+                earliest = earliest + add
+        elif code == STORE:
+            if k_store >= min_sq:
+                back = k_store - sq
+                rows = store_pos_np[np.maximum(back, 0)]
+                gate = commit_np[rows, cols]
+                add = np.where((back >= 0) & (gate > earliest),
+                               gate - earliest, 0)
+                stall_sq += add
+                earliest = earliest + add
+        elif code == COMPLEX:
+            stall_decode += hetero
+            earliest = earliest + hetero
+        if i:
+            renamed = np.maximum(earliest, rename_c[i - 1])
+        else:
+            renamed = earliest
+        if i >= min_disp:
+            back = i - disp
+            gathered = rename_c[np.maximum(back, 0), cols] + 1
+            renamed = np.maximum(renamed, np.where(back >= 0, gathered, 0))
+        rename_c[i] = renamed
+        stall_rename_bw += renamed - earliest
+        rename = renamed
+
+        # ---- register readiness --------------------------------------------
+        base_ready = renamed + 1
+        ready = base_ready
+        dist = src1[i]
+        if dist:
+            ready = np.maximum(ready, completion[i - dist])
+        dist = src2[i]
+        if dist:
+            ready = np.maximum(ready, completion[i - dist])
+        stall_operand += ready - base_ready
+
+        # ---- issue ---------------------------------------------------------
+        if code == FP_DIV:
+            refractory = last_fp_div + FP_DIV_ISSUE_INTERVAL
+            add = np.where(refractory > ready, refractory - ready, 0)
+            stall_fu += add
+            ready = ready + add
+        busy = busy_l[i]
+        ready_list = ready.tolist()
+        issue_list = [0] * N
+        for j in range(N):
+            ready_j = ready_list[j]
+            start = pool_rows[j][code].reserve(ready_j, busy)
+            if start > ready_j:
+                stall_fu[j] += start - ready_j
+            issued = issue_objs[j].allocate(start)
+            if issued > start:
+                stall_issue_bw[j] += issued - start
+            issue_list[j] = issued
+        issue_row = np.array(issue_list, int_)
+        issue_np[i] = issue_row
+        if code == FP_DIV:
+            last_fp_div = issue_row
+
+        # ---- execute -------------------------------------------------------
+        done = issue_row + lat_l[i]
+        if code == LOAD:
+            done = issue_row + load_term[k_load]
+            k_load += 1
+        elif code == STORE:
+            k_store += 1
+        elif code == BRANCH:
+            if not corrects[k_branch]:
+                redirect_free = np.maximum(redirect_free, done + refill)
+            k_branch += 1
+        completion[i] = done
+
+        # ---- commit --------------------------------------------------------
+        if i:
+            target = np.maximum(done + 1, commit_np[i - 1])
+        else:
+            target = done + 1
+        if i >= min_commit:
+            back = i - commit_w
+            gathered = commit_np[np.maximum(back, 0), cols] + 1
+            target = np.maximum(target, np.where(back >= 0, gathered, 0))
+        commit_np[i] = target
+
+        # ---- bookkeeping ---------------------------------------------------
+        if i >= prune_at:
+            prune_at = i + prune_interval
+            rename_list = rename.tolist()
+            for j in range(N):
+                watermark = rename_list[j]
+                issue_objs[j].prune(watermark)
+                for pool in pool_rows[j]:
+                    pool.prune(watermark)
+
+    results: List[SimResult] = []
+    sync_matrix = commit_np[arrays.sync_pos] if arrays.sync_pos else None
+    for j, config in enumerate(configs):
+        tracked = issue_objs[j].tracked_cycles + sum(
+            pool.tracked_cycles for pool in pool_rows[j]
+        )
+        sync_cycles = (
+            [int(v) for v in sync_matrix[:, j]] if sync_matrix is not None
+            else []
+        )
+        results.append(_build_result(
+            trace, arrays, corrects, image, config, commit_np[:, j],
+            stall_cycles={
+                "fetch_icache": int(stall_fetch_icache[j]),
+                "fetch_redirect": int(stall_fetch_redirect[j]),
+                "rename_bw": int(stall_rename_bw[j]),
+                "rob": int(stall_rob[j]),
+                "iq": int(stall_iq[j]),
+                "lq": int(stall_lq[j]),
+                "sq": int(stall_sq[j]),
+                "decode": int(stall_decode[j]),
+                "operand": int(stall_operand[j]),
+                "fu": int(stall_fu[j]),
+                "issue_bw": int(stall_issue_bw[j]),
+            },
+            sync_commit_cycles=sync_cycles,
+            tracked_limiter_cycles=tracked,
+        ))
+    return results
+
+
+# -- public entry points ------------------------------------------------------
+
+
+def simulate_core(trace: Trace, config: CoreConfig, image: MemoryImage,
+                  noc_penalty: int = 0) -> SimResult:
+    """Time one (trace, config) pair against a prebuilt memory image
+    (the multicore batch driver's per-core primitive)."""
+    return _time_one(trace, decode(trace), branch_outcomes(trace), image,
+                     config, noc_penalty)
+
+
+def run_trace_batch(configs: Sequence[CoreConfig], trace: Trace,
+                    min_vector_width: Optional[int] = None,
+                    stats_out: Optional[dict] = None) -> List[SimResult]:
+    """Simulate ``trace`` under every config in one batched evaluation.
+
+    Cycle-exact against ``run_trace(config, trace)`` for each config:
+    the trace is decoded once, the predictor replayed once, the caches
+    replayed once per L2 geometry, and only the timing recurrences run
+    per configuration — via the NumPy ``(N,)`` path for groups of at
+    least ``min_vector_width`` configs (default
+    ``$REPRO_KERNEL_VECTOR_MIN`` or :data:`DEFAULT_VECTOR_MIN`), else
+    via the tight scalar loop.  Results come back in config order.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    threshold = (min_vector_width if min_vector_width is not None
+                 else vector_min_width())
+    arrays = decode(trace)
+    corrects = branch_outcomes(trace)
+    results: List[Optional[SimResult]] = [None] * len(configs)
+    groups: Dict[bool, List[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(config.shared_l2, []).append(index)
+    vectorized_groups = scalar_groups = 0
+    for indices in groups.values():
+        image = replay_memory(trace, configs[indices[0]])
+        if len(indices) >= threshold:
+            vectorized_groups += 1
+            batch = _time_many(trace, arrays, corrects, image,
+                               [configs[k] for k in indices])
+            for index, result in zip(indices, batch):
+                results[index] = result
+        else:
+            scalar_groups += 1
+            for index in indices:
+                results[index] = _time_one(trace, arrays, corrects, image,
+                                           configs[index])
+    if stats_out is not None:
+        stats_out["vectorized_groups"] = (
+            stats_out.get("vectorized_groups", 0) + vectorized_groups
+        )
+        stats_out["scalar_groups"] = (
+            stats_out.get("scalar_groups", 0) + scalar_groups
+        )
+    return results
+
+
+__all__ = [
+    "DEFAULT_VECTOR_MIN",
+    "MemoryImage",
+    "TraceArrays",
+    "branch_outcomes",
+    "decode",
+    "kernel_enabled",
+    "replay_memory",
+    "run_trace_batch",
+    "simulate_core",
+    "vector_min_width",
+]

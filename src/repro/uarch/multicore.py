@@ -20,7 +20,8 @@ average latency.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from collections import OrderedDict
+from typing import Dict, List, Optional
 
 from repro.core.configs import CoreConfig
 from repro.uarch.cache import CoherenceDirectory
@@ -90,6 +91,34 @@ def _phase_durations(result: SimResult) -> List[int]:
     return phases
 
 
+def _align_barriers(results: List[SimResult]) -> tuple:
+    """Barrier alignment across cores: ``(total_cycles, wait_cycles)``.
+
+    Phase k completes when the slowest core does; stragglers set the
+    pace and the others accumulate wait cycles.
+    """
+    phase_lists = [_phase_durations(result) for result in results]
+    num_phases = min(len(phases) for phases in phase_lists)
+    total_cycles = 0
+    wait_cycles = 0
+    for k in range(num_phases):
+        durations = [phases[k] for phases in phase_lists]
+        longest = max(durations)
+        total_cycles += longest + BARRIER_OVERHEAD_CYCLES
+        wait_cycles += sum(longest - d for d in durations)
+    return total_cycles, wait_cycles
+
+
+def _work_shares(total_uops: int, cores: int) -> List[int]:
+    """Per-core measured-uop shares: even base share, remainder spread
+    over the first cores, every core at least one uop."""
+    base_share, remainder = divmod(total_uops, cores)
+    return [
+        max(1, base_share + (1 if core_id < remainder else 0))
+        for core_id in range(cores)
+    ]
+
+
 def run_parallel(
     config: CoreConfig,
     profile: AppProfile,
@@ -114,11 +143,7 @@ def run_parallel(
     # both dropped remainders and inflated tiny sweeps).  Every core
     # still runs at least one uop, so requests smaller than the core
     # count round up — ``requested_uops`` vs ``actual_uops`` records it.
-    base_share, remainder = divmod(total_uops, cores)
-    shares = [
-        max(1, base_share + (1 if core_id < remainder else 0))
-        for core_id in range(cores)
-    ]
+    shares = _work_shares(total_uops, cores)
 
     noc = RingNoc(cores, shared_stops=config.shared_l2)
     coherence = CoherenceDirectory()
@@ -134,15 +159,7 @@ def run_parallel(
         results.append(core.run(trace))
 
     # Barrier alignment: phase k completes when the slowest core does.
-    phase_lists = [_phase_durations(result) for result in results]
-    num_phases = min(len(phases) for phases in phase_lists)
-    total_cycles = 0
-    wait_cycles = 0
-    for k in range(num_phases):
-        durations = [phases[k] for phases in phase_lists]
-        longest = max(durations)
-        total_cycles += longest + BARRIER_OVERHEAD_CYCLES
-        wait_cycles += sum(longest - d for d in durations)
+    total_cycles, wait_cycles = _align_barriers(results)
 
     return MulticoreResult(
         config_name=config.name,
@@ -155,3 +172,124 @@ def run_parallel(
         noc_latency=noc.average_latency,
         requested_uops=total_uops,
     )
+
+
+# -- batched evaluation through the SoA kernel --------------------------------
+
+#: Per-process multicore trace memo: every configuration with the same
+#: core count shares one generated trace set per (profile, share, seed,
+#: thread) — ``run_parallel`` regenerating them per config is the single
+#: biggest cost of a cold multicore sweep.
+_MC_TRACE_MEMO: "OrderedDict[str, object]" = OrderedDict()
+_MC_TRACE_MEMO_CAP = 64
+
+#: Per-process memo of coherence-sequenced memory images, keyed by the
+#: (profile, work split, geometry) that determines them.  Values are
+#: ``(images, coherence_transfers)``.
+_MC_IMAGE_MEMO: "OrderedDict[str, tuple]" = OrderedDict()
+_MC_IMAGE_MEMO_CAP = 32
+
+
+def _memo_get(memo: "OrderedDict", cap: int, key: str, build):
+    value = memo.get(key)
+    if value is None:
+        value = build()
+        memo[key] = value
+        if len(memo) > cap:
+            memo.popitem(last=False)
+    else:
+        memo.move_to_end(key)
+    return value
+
+
+def _mc_trace(profile: AppProfile, share: int, seed: int, thread: int):
+    from repro.engine.cache import make_key
+    from repro.workloads.generator import generate_trace
+
+    key = make_key("mc-trace", profile=profile, uops=share, seed=seed,
+                   thread=thread)
+    return _memo_get(
+        _MC_TRACE_MEMO, _MC_TRACE_MEMO_CAP, key,
+        lambda: generate_trace(profile, share, seed=seed, thread=thread),
+    )
+
+
+def run_parallel_batch(
+    configs: List[CoreConfig],
+    profile: AppProfile,
+    total_uops: int,
+    seed: int = 1234,
+) -> List[MulticoreResult]:
+    """Run one parallel application under many configs in one batch.
+
+    Bit-exact against per-config :func:`run_parallel` calls, but configs
+    with the same core count share generated traces, and configs with
+    the same (core count, L2 geometry) additionally share the
+    coherence-sequenced cache replay; only the per-core timing
+    recurrences run per config, through the
+    :mod:`repro.uarch.kernel` scalar path.
+    """
+    from repro.engine.cache import make_key
+    from repro.uarch import kernel
+
+    if not profile.is_parallel:
+        raise ValueError(f"{profile.name} is not a parallel profile")
+    results: List[Optional[MulticoreResult]] = [None] * len(configs)
+    by_cores: "OrderedDict[int, List[int]]" = OrderedDict()
+    for index, config in enumerate(configs):
+        by_cores.setdefault(config.num_cores, []).append(index)
+    for cores, indices in by_cores.items():
+        shares = _work_shares(total_uops, cores)
+        traces = [
+            _mc_trace(profile, share, seed, core_id)
+            for core_id, share in enumerate(shares)
+        ]
+        by_geometry: "OrderedDict[bool, List[int]]" = OrderedDict()
+        for index in indices:
+            by_geometry.setdefault(configs[index].shared_l2, []).append(index)
+        for shared_l2, geo_indices in by_geometry.items():
+            noc = RingNoc(cores, shared_stops=shared_l2)
+            penalty = noc.average_latency
+            donor = configs[geo_indices[0]]
+
+            def build_images(donor=donor):
+                # Replay cores sequentially through one shared directory
+                # — the same access interleaving as run_parallel's
+                # core-by-core loop, so ownership transitions (and the
+                # transfer count) are identical.
+                coherence = CoherenceDirectory()
+                images = [
+                    kernel.replay_memory(trace, donor, core_id=core_id,
+                                         coherence=coherence,
+                                         noc_penalty=penalty)
+                    for core_id, trace in enumerate(traces)
+                ]
+                return images, coherence.transfers
+
+            image_key = make_key(
+                "mc-images", profile=profile, uops=total_uops, seed=seed,
+                cores=cores, shared_l2=shared_l2, noc=penalty,
+            )
+            images, transfers = _memo_get(
+                _MC_IMAGE_MEMO, _MC_IMAGE_MEMO_CAP, image_key, build_images
+            )
+            for index in geo_indices:
+                config = configs[index]
+                per_core = [
+                    kernel.simulate_core(trace, config, image,
+                                         noc_penalty=penalty)
+                    for trace, image in zip(traces, images)
+                ]
+                total_cycles, wait_cycles = _align_barriers(per_core)
+                results[index] = MulticoreResult(
+                    config_name=config.name,
+                    trace_name=profile.name,
+                    cycles=total_cycles,
+                    frequency=config.frequency,
+                    per_core=per_core,
+                    barrier_wait_cycles=wait_cycles,
+                    coherence_transfers=transfers,
+                    noc_latency=penalty,
+                    requested_uops=total_uops,
+                )
+    return results

@@ -47,13 +47,30 @@ FETCH_BLOCK_UOPS = 8
 PRUNE_INTERVAL = 4096
 
 #: Total occupancy-map entries (issue + FU pools) at the end of the most
-#: recent :meth:`OutOfOrderCore.run`; read via :func:`last_tracked_cycles`
-#: by the benchmark to show the pruning keeps bookkeeping bounded.
+#: recent :meth:`OutOfOrderCore.run` in *this process*.  Deprecated: the
+#: per-result :attr:`SimStats.tracked_limiter_cycles` replaces it — a
+#: module global garbles silently across ``ProcessPoolExecutor`` workers
+#: (each worker has its own copy; the parent's never updates).
 _LAST_TRACKED_CYCLES = 0
 
 
 def last_tracked_cycles() -> int:
-    """Occupancy-map entries left after the most recent run (bench hook)."""
+    """Occupancy-map entries left after the most recent run.
+
+    .. deprecated::
+        Read ``result.stats.tracked_limiter_cycles`` instead; this
+        process-global view is meaningless when runs execute in worker
+        processes.
+    """
+    import warnings
+
+    warnings.warn(
+        "last_tracked_cycles() is deprecated; read "
+        "result.stats.tracked_limiter_cycles instead (the module global "
+        "is not updated by ProcessPoolExecutor workers)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return _LAST_TRACKED_CYCLES
 
 
@@ -98,6 +115,11 @@ class SimStats:
     #: delayed uops beyond the unconstrained schedule.  Keys are the
     #: :data:`STALL_CAUSES` names.
     stall_cycles: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Occupancy-map entries (issue + FU pools) left at the end of the
+    #: run — shows the watermark pruning keeps bookkeeping bounded.
+    #: Carried per result so it survives process-pool workers (the old
+    #: module-global :func:`last_tracked_cycles` did not).
+    tracked_limiter_cycles: int = 0
 
     @property
     def ipc(self) -> float:
@@ -501,6 +523,7 @@ class OutOfOrderCore:
         _LAST_TRACKED_CYCLES = issue_slots.tracked_cycles + sum(
             pool.tracked_cycles for pool in pools.values()
         )
+        stats.tracked_limiter_cycles = _LAST_TRACKED_CYCLES
         stats.loads = loads
         stats.stores = stores
         stats.branches = branches

@@ -212,14 +212,15 @@ class TraceGenerator:
         cap = 40000
         step = max(1, self._pool_lines // cap)
         lines.extend(
-            self._private_base + i * self._pool_stride
-            for i in range(0, self._pool_lines, step)
+            [self._private_base + i * self._pool_stride
+             for i in range(0, self._pool_lines, step)]
         )
         if profile.is_parallel and profile.sharing_frac > 0:
             shared_span = max(64, profile.working_set_bytes // 8)
             shared_step = max(64, shared_span // 8192)
             lines.extend(
-                SHARED_REGION_BASE + i for i in range(0, shared_span, shared_step)
+                [SHARED_REGION_BASE + i
+                 for i in range(0, shared_span, shared_step)]
             )
         return lines
 

@@ -16,6 +16,7 @@ from repro.uarch.interval import (
     predict_cpi,
     predict_runtime,
     predict_speedup,
+    workload_stats_from_sim,
 )
 
 
@@ -70,11 +71,98 @@ class TestIntervalModel:
             2 * predict_runtime(base_config(), workload, 1000)
         )
 
+    def test_workload_stats_from_sim(self):
+        from repro.uarch.ooo import run_trace
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.spec import spec_profiles
+
+        result = run_trace(
+            base_config(), generate_trace(spec_profiles()[0], 800)
+        )
+        workload = workload_stats_from_sim(result)
+        uops = result.stats.uops
+        levels = result.stats.mem_level_counts
+        assert workload.mispredicts_per_kilo == pytest.approx(
+            result.stats.mispredictions * 1000.0 / uops
+        )
+        assert workload.l2_misses_per_kilo == pytest.approx(
+            levels.get("L3", 0) * 1000.0 / uops
+        )
+        assert workload.dram_misses_per_kilo == pytest.approx(
+            levels.get("DRAM", 0) * 1000.0 / uops
+        )
+
     def test_invalid_workload(self):
         with pytest.raises(ValueError):
             WorkloadStats(-1.0, 0.0, 0.0)
         with pytest.raises(ValueError):
             WorkloadStats(1.0, 1.0, 1.0, base_ipc_limit=0.0)
+
+
+class TestIntervalCrosscheck:
+    """The sweep's cycle-vs-interval direction cross-check (repro.design)."""
+
+    def _fake_run(self, cycles, uops, mispredictions=30, l3=5, dram=2):
+        import types
+
+        stats = types.SimpleNamespace(
+            uops=uops,
+            mispredictions=mispredictions,
+            mem_level_counts={"L1": uops - l3 - dram, "L3": l3, "DRAM": dram},
+        )
+        return types.SimpleNamespace(cycles=cycles, stats=stats)
+
+    def _improved_config(self):
+        import dataclasses
+
+        return dataclasses.replace(
+            base_config(), name="improved", load_to_use_cycles=3,
+            branch_mispredict_cycles=10,
+        )
+
+    def test_agreement_returns_none(self):
+        from repro.design.sweep import interval_crosscheck
+
+        # Measured CPI falls and the interval model predicts a fall too.
+        message = interval_crosscheck(
+            self._improved_config(), base_config(),
+            run=self._fake_run(900, 1000), base_run=self._fake_run(1000, 1000),
+            label="agree",
+        )
+        assert message is None
+
+    def test_sub_threshold_changes_are_ignored(self):
+        from repro.design.sweep import interval_crosscheck
+
+        # A 1% measured rise is inside the noise floor: no verdict.
+        message = interval_crosscheck(
+            self._improved_config(), base_config(),
+            run=self._fake_run(1010, 1000),
+            base_run=self._fake_run(1000, 1000),
+            label="flat",
+        )
+        assert message is None
+
+    def test_disagreement_returns_message(self):
+        from repro.design.sweep import interval_crosscheck
+
+        # The interval model predicts a fall (shorter branch loop and
+        # load-to-use) but the cycle model measured a 20% rise.
+        message = interval_crosscheck(
+            self._improved_config(), base_config(),
+            run=self._fake_run(1200, 1000),
+            base_run=self._fake_run(1000, 1000),
+            label="clash/app",
+        )
+        assert message is not None
+        assert "clash/app" in message
+        assert "rose" in message
+
+    def test_warning_class_is_catchable(self):
+        from repro.obs import ModelDisagreementWarning, warn_model_disagreement
+
+        with pytest.warns(ModelDisagreementWarning, match="direction test"):
+            warn_model_disagreement("direction test")
 
 
 class TestExperimentTables:

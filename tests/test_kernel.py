@@ -1,0 +1,292 @@
+"""The batched SoA kernel (:mod:`repro.uarch.kernel`).
+
+The kernel's contract is *cycle-exactness*: ``run_trace_batch`` must
+return results indistinguishable (full dataclass equality — stats,
+stall attribution, memory-level histograms, everything) from per-config
+``OutOfOrderCore.run`` calls, through both of its internal paths (the
+decoded scalar loop and the NumPy vector path).  These tests pin that
+contract, the multicore batch equivalent, the engine's byte-identical
+figure output with the kernel on vs off, and the generator digests the
+replay-sharing optimisations silently depend on.
+"""
+
+import dataclasses
+import hashlib
+import os
+
+import pytest
+
+from repro.core.configs import (
+    base_config,
+    multicore_configs,
+    single_core_configs,
+)
+from repro.uarch import kernel
+from repro.uarch.kernel import (
+    kernel_enabled,
+    run_trace_batch,
+    simulate_core,
+    vector_min_width,
+)
+from repro.uarch.multicore import run_parallel, run_parallel_batch
+from repro.uarch.ooo import run_trace
+from repro.workloads.generator import generate_trace
+from repro.workloads.parallel import parallel_profiles
+from repro.workloads.spec import spec_profiles
+
+if os.environ.get("REPRO_KERNEL") in ("0", "false", "off", "no"):
+    pytest.skip("kernel disabled via $REPRO_KERNEL", allow_module_level=True)
+
+
+def _fresh_trace(profile, uops, seed=1234, thread=None):
+    if thread is None:
+        return generate_trace(profile, uops, seed=seed)
+    return generate_trace(profile, uops, seed=seed, thread=thread)
+
+
+# ---------------------------------------------------------------------------
+# Single-core exactness: batch == oracle, both internal paths
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile_index", [0, 4, 9])
+def test_batch_matches_oracle_paper_configs(profile_index):
+    profile = spec_profiles()[profile_index]
+    configs = single_core_configs()
+    trace = _fresh_trace(profile, 1500)
+    oracle = [run_trace(config, trace) for config in configs]
+    batched = run_trace_batch(configs, _fresh_trace(profile, 1500))
+    assert batched == oracle  # full SimResult equality, stats included
+
+
+@pytest.mark.parametrize("profile_index", [0, 9])
+def test_vector_path_matches_oracle(profile_index):
+    """Forcing the NumPy path (min_vector_width=1) changes nothing."""
+    profile = spec_profiles()[profile_index]
+    configs = single_core_configs()
+    trace = _fresh_trace(profile, 1500)
+    oracle = [run_trace(config, trace) for config in configs]
+    vectorized = run_trace_batch(configs, _fresh_trace(profile, 1500),
+                                 min_vector_width=1)
+    assert vectorized == oracle
+
+
+def test_batch_matches_oracle_edge_configs():
+    """Narrow widths, hetero penalty, shared L2, tiny queues."""
+    base = base_config()
+    configs = [
+        base,
+        dataclasses.replace(base, name="narrow", dispatch_width=1,
+                            issue_width=1, commit_width=1),
+        dataclasses.replace(base, name="hetero", hetero=True, is_3d=True,
+                            load_to_use_cycles=3,
+                            branch_mispredict_cycles=12),
+        dataclasses.replace(base, name="sharedl2", shared_l2=True),
+        dataclasses.replace(base, name="tinyq", rob_entries=8, iq_entries=4,
+                            lq_entries=2, sq_entries=2),
+        dataclasses.replace(base, name="fast", frequency=4.4e9),
+    ]
+    profile = spec_profiles()[2]
+    trace = _fresh_trace(profile, 1200)
+    oracle = [run_trace(config, trace) for config in configs]
+    assert run_trace_batch(configs, _fresh_trace(profile, 1200)) == oracle
+    assert run_trace_batch(configs, _fresh_trace(profile, 1200),
+                           min_vector_width=1) == oracle
+
+
+def test_batch_preserves_config_order_and_duplicates():
+    configs = single_core_configs()
+    shuffled = [configs[3], configs[0], configs[3], configs[5]]
+    profile = spec_profiles()[1]
+    trace = _fresh_trace(profile, 800)
+    oracle = [run_trace(config, trace) for config in shuffled]
+    batched = run_trace_batch(shuffled, _fresh_trace(profile, 800))
+    assert batched == oracle
+    assert [r.config_name for r in batched] == [c.name for c in shuffled]
+
+
+def test_simulate_core_matches_oracle_single():
+    """The per-core primitive agrees with the oracle on its own."""
+    config = base_config()
+    profile = spec_profiles()[0]
+    trace = _fresh_trace(profile, 1000)
+    expected = run_trace(config, trace)
+    replay_trace = _fresh_trace(profile, 1000)
+    image = kernel.replay_memory(replay_trace, config)
+    assert simulate_core(replay_trace, config, image) == expected
+
+
+def test_stats_out_reports_path_taken():
+    configs = single_core_configs()
+    profile = spec_profiles()[0]
+    stats = {}
+    run_trace_batch(configs, _fresh_trace(profile, 600), stats_out=stats)
+    assert stats["scalar_groups"] >= 1  # width 6 < default vector threshold
+    stats = {}
+    run_trace_batch(configs, _fresh_trace(profile, 600), min_vector_width=1,
+                    stats_out=stats)
+    assert stats["vectorized_groups"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Environment gates
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_enabled_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    assert kernel_enabled()
+    for value in ("0", "false", "off", "no"):
+        monkeypatch.setenv("REPRO_KERNEL", value)
+        assert not kernel_enabled()
+    monkeypatch.setenv("REPRO_KERNEL", "1")
+    assert kernel_enabled()
+
+
+def test_vector_min_width_env(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_VECTOR_MIN", raising=False)
+    assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
+    monkeypatch.setenv("REPRO_KERNEL_VECTOR_MIN", "3")
+    assert vector_min_width() == 3
+
+
+# ---------------------------------------------------------------------------
+# Multicore batch
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile_index", [0, 2])
+def test_parallel_batch_matches_run_parallel(profile_index):
+    profile = parallel_profiles()[profile_index]
+    configs = multicore_configs()
+    oracle = [run_parallel(config, profile, 2400, seed=1234)
+              for config in configs]
+    batched = run_parallel_batch(configs, profile, 2400, seed=1234)
+    assert batched == oracle
+
+
+def test_parallel_batch_rejects_serial_profiles():
+    with pytest.raises(ValueError):
+        run_parallel_batch(multicore_configs(), spec_profiles()[0], 1000)
+
+
+# ---------------------------------------------------------------------------
+# Engine regression: figure6 identical with the kernel on and off
+# ---------------------------------------------------------------------------
+
+
+def test_figure6_identical_with_kernel_disabled(monkeypatch):
+    from repro import engine
+    from repro.experiments.figures import figure6
+
+    engine.configure(jobs=1, cache_dir=None)
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    with_kernel = figure6(uops=900)
+    engine.configure(jobs=1, cache_dir=None)  # drop the cached sweep
+    monkeypatch.setenv("REPRO_KERNEL", "0")
+    without_kernel = figure6(uops=900)
+    engine.configure(jobs=1, cache_dir=None)
+    assert with_kernel == without_kernel
+
+
+def test_engine_telemetry_counts_kernel_batches():
+    from repro.engine.sweep import ExperimentEngine
+
+    eng = ExperimentEngine(jobs=1, cache_dir=None)
+    eng.single_core_runs(700, profiles=spec_profiles()[:2])
+    summary = eng.telemetry.kernel_summary()
+    assert summary["groups"] == 2  # one batch per profile
+    assert summary["batched_specs"] == 2 * len(single_core_configs())
+    assert summary["max_width"] == len(single_core_configs())
+    assert summary["fallback_specs"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Generator pinning: the replay-sharing memos assume traces are
+# deterministic functions of (profile, uops, seed, thread)
+# ---------------------------------------------------------------------------
+
+
+def _trace_digest(trace) -> str:
+    hasher = hashlib.sha256()
+    for u in trace.ops:
+        hasher.update(repr((u.op.value, u.src1, u.src2, u.address, u.pc,
+                            u.taken, u.barrier)).encode())
+    hasher.update(repr((trace.name, trace.warmup_ops, trace.resident_data,
+                        trace.resident_code)).encode())
+    return hasher.hexdigest()
+
+
+@pytest.mark.parametrize("case", [
+    ("spec", 0, 2000, 1234, None,
+     "bab2bedc7b9b57a6437a7f71c155ca8fa7635774d4c8bee111ce535b16d0606c"),
+    ("spec", 5, 1500, 7, None,
+     "31476f7cdee16e24c21e5aab2ffbb582b286323e03aae9eaacb1a22e1e83ed88"),
+    ("parallel", 0, 1200, 1234, 0,
+     "a13925e11e84acda2fc3b56ea3a3e1a932a52758b33d57554d13532233358538"),
+    ("parallel", 3, 900, 99, 2,
+     "a8f851ee39d10463594fcc472a6258c925839ad50a392b66928ce23735bde8f9"),
+])
+def test_generated_trace_digests_pinned(case):
+    suite, index, uops, seed, thread, expected = case
+    profiles = spec_profiles() if suite == "spec" else parallel_profiles()
+    trace = _fresh_trace(profiles[index], uops, seed=seed, thread=thread)
+    assert _trace_digest(trace) == expected
+
+
+# ---------------------------------------------------------------------------
+# Manifest: the kernel section validates and reflects engine activity
+# ---------------------------------------------------------------------------
+
+
+def test_manifest_kernel_section_roundtrip():
+    from repro.engine.sweep import ExperimentEngine
+    from repro.obs import build_manifest, validate_manifest
+
+    eng = ExperimentEngine(jobs=1, cache_dir=None)
+    eng.single_core_runs(600, profiles=spec_profiles()[:1])
+    manifest = build_manifest("test", engine=eng)
+    assert validate_manifest(manifest) == []
+    assert manifest["kernel"]["summary"]["batched_specs"] == len(
+        single_core_configs()
+    )
+    assert all(batch["used_kernel"]
+               for batch in manifest["kernel"]["batches"])
+
+
+def test_manifest_rejects_malformed_kernel_section():
+    from repro.engine.sweep import ExperimentEngine
+    from repro.obs import build_manifest, validate_manifest
+
+    manifest = build_manifest(
+        "test", engine=ExperimentEngine(jobs=1, cache_dir=None)
+    )
+    manifest["kernel"] = {"summary": {"groups": "lots"}, "batches": [{}]}
+    problems = validate_manifest(manifest)
+    assert any("kernel.summary" in p for p in problems)
+    assert any("kernel.batches[0]" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shim (satellite: the module-global limiter counter)
+# ---------------------------------------------------------------------------
+
+
+def test_last_tracked_cycles_deprecated_and_on_stats():
+    from repro.uarch import ooo
+
+    result = run_trace(base_config(), _fresh_trace(spec_profiles()[0], 400))
+    assert result.stats.tracked_limiter_cycles > 0
+    with pytest.warns(DeprecationWarning):
+        legacy = ooo.last_tracked_cycles()
+    assert legacy == result.stats.tracked_limiter_cycles
+
+
+def test_kernel_results_carry_tracked_limiter_cycles():
+    configs = single_core_configs()
+    profile = spec_profiles()[0]
+    trace = _fresh_trace(profile, 800)
+    oracle = [run_trace(config, trace) for config in configs]
+    batched = run_trace_batch(configs, _fresh_trace(profile, 800))
+    assert [r.stats.tracked_limiter_cycles for r in batched] == \
+        [r.stats.tracked_limiter_cycles for r in oracle]

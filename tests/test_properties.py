@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import dataclasses
 import math
 
 from hypothesis import given, settings
@@ -166,6 +167,68 @@ def test_fu_pool_never_oversubscribed(requests):
         for k in range(busy):
             occupancy[start + k] = occupancy.get(start + k, 0) + 1
     assert all(users <= count for users in occupancy.values())
+
+
+# ---------------------------------------------------------------------------
+# Batched kernel: cycle-exact against the scalar oracle
+# ---------------------------------------------------------------------------
+
+
+_CONFIG_STRATEGY = st.builds(
+    dict,
+    dispatch_width=st.integers(min_value=1, max_value=4),
+    extra_issue=st.integers(min_value=0, max_value=3),
+    rob_entries=st.integers(min_value=8, max_value=192),
+    iq_entries=st.integers(min_value=4, max_value=84),
+    lq_entries=st.integers(min_value=2, max_value=72),
+    sq_entries=st.integers(min_value=2, max_value=56),
+    load_to_use_cycles=st.integers(min_value=3, max_value=5),
+    branch_mispredict_cycles=st.integers(min_value=10, max_value=16),
+    hetero=st.booleans(),
+    shared_l2=st.booleans(),
+    frequency=st.sampled_from([2.2e9, 3.3e9, 4.4e9]),
+)
+
+
+def _random_config(index, fields):
+    from repro.core.configs import base_config
+
+    fields = dict(fields)
+    dispatch = fields.pop("dispatch_width")
+    issue = dispatch + fields.pop("extra_issue")
+    return dataclasses.replace(
+        base_config(), name=f"prop{index}", dispatch_width=dispatch,
+        issue_width=issue, commit_width=dispatch, **fields,
+    )
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    config_fields=st.lists(_CONFIG_STRATEGY, min_size=2, max_size=3),
+    uops=st.integers(min_value=20, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**16),
+    profile_index=st.integers(min_value=0, max_value=20),
+    force_vector=st.booleans(),
+)
+def test_run_trace_batch_matches_oracle(config_fields, uops, seed,
+                                        profile_index, force_vector):
+    """The batched kernel is cycle-exact (full result equality) against
+    per-config scalar simulation, on both of its internal paths."""
+    from repro.uarch.kernel import run_trace_batch
+    from repro.uarch.ooo import run_trace
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import spec_profiles
+
+    profiles = spec_profiles()
+    profile = profiles[profile_index % len(profiles)]
+    configs = [_random_config(i, fields)
+               for i, fields in enumerate(config_fields)]
+    trace = generate_trace(profile, uops, seed=seed)
+    oracle = [run_trace(config, trace) for config in configs]
+    batched = run_trace_batch(
+        configs, trace, min_vector_width=1 if force_vector else None
+    )
+    assert batched == oracle
 
 
 # ---------------------------------------------------------------------------
