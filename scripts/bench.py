@@ -27,6 +27,10 @@ Sections
     Scalar ``lil_matrix``+``spsolve`` reference vs the vectorized,
     ``splu``-factorized fast path, amortised over a Figure-8-sized batch
     of right-hand sides.
+``goldens``
+    ``repro validate`` over the static artifacts (tables, design points,
+    trace digests) against the committed ``goldens/`` — a model drift
+    tripwire that runs even in ``--quick`` mode.
 ``limiter``
     Memory footprint of the per-cycle issue/FU occupancy maps on a long
     trace, with pruning disabled vs enabled.
@@ -264,6 +268,29 @@ def bench_kernel(uops: int) -> dict:
     }
 
 
+def bench_goldens() -> dict:
+    """Validate the static golden artifacts against the live models.
+
+    Static artifacts (analytic tables, the design-point registry, trace
+    digests) are independent of sweep sizes, so this check is meaningful
+    even in ``--quick`` mode: a drift here means a model changed without
+    ``repro validate --update``.
+    """
+    from repro.golden import artifact_names, run_validation
+
+    with timer("goldens.static") as span:
+        report = run_validation(only=artifact_names(static_only=True))
+    return {
+        "seconds": round(span.seconds, 3),
+        "status": report["status"],
+        "artifacts": report["summary"]["artifacts"],
+        "cells": report["summary"]["cells"],
+        "drifted_cells": report["summary"]["drifted_cells"],
+        "drifted_artifacts": report["summary"]["drifted_artifacts"],
+        "errors": report["summary"]["errors"],
+    }
+
+
 def bench_limiter(uops: int) -> dict:
     from repro.core.configs import base_config
     from repro.uarch import ooo
@@ -369,6 +396,13 @@ def main() -> None:
           f"fast {record['thermal']['fast_seconds']}s "
           f"({record['thermal']['speedup']}x, "
           f"max diff {record['thermal']['max_abs_diff_c']:.2e} C)")
+
+    print("validating static goldens ...")
+    record["goldens"] = bench_goldens()
+    print(f"  {record['goldens']['status']}: "
+          f"{record['goldens']['cells']} cells across "
+          f"{record['goldens']['artifacts']} artifacts in "
+          f"{record['goldens']['seconds']}s")
 
     print(f"benchmarking limiter pruning (uops={sizes['limiter_uops']}) ...")
     record["limiter"] = bench_limiter(sizes["limiter_uops"])

@@ -24,6 +24,13 @@ Commands
     peak temperature): comma-separated registered names and/or paths to
     JSON files declaring custom :class:`~repro.design.point.DesignPoint`
     specs.
+
+``validate``
+    Compare every golden artifact (tables, figures, design points,
+    trace digests) against a live rebuild and report drift.
+    ``--update`` re-blesses goldens, ``--only table11,figure6`` selects
+    artifacts, ``--deep`` adds the differential oracles,
+    ``--report PATH`` writes the drift report as JSON.
 """
 
 from __future__ import annotations
@@ -174,6 +181,35 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     print_sweep_summary(evaluations)
 
 
+def cmd_validate(args: argparse.Namespace) -> None:
+    from repro.golden import (
+        BuildParams,
+        UnknownArtifactError,
+        print_report,
+        run_validation,
+    )
+
+    only = None
+    if args.only:
+        only = [token.strip() for token in args.only.split(",")
+                if token.strip()]
+    params = BuildParams(uops=args.uops, multicore_uops=args.uops * 3)
+    try:
+        report = run_validation(
+            only=only,
+            update=args.update,
+            deep=args.deep,
+            goldens_dir=args.goldens,
+            params=params,
+            report_path=args.report,
+        )
+    except UnknownArtifactError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+    print_report(report)
+    if report["status"] == "fail":
+        raise SystemExit(1)
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--uops", type=int, default=8000,
@@ -216,27 +252,68 @@ def main(argv=None) -> None:
                 "evaluate design points end-to-end",
                 ("points", "comma-separated registered names and/or "
                            "paths to JSON DesignPoint spec files"))
+    validate_parser = add_command(
+        "validate", cmd_validate,
+        "compare golden artifacts against a live rebuild")
+    validate_parser.add_argument(
+        "--update", action="store_true",
+        help="re-bless the requested goldens instead of comparing")
+    validate_parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the differential oracles (kernel vs scalar core, "
+             "serial vs parallel sweep, cycle vs interval model)")
+    validate_parser.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="comma-separated artifact names (e.g. table11,figure6,points)")
+    validate_parser.add_argument(
+        "--goldens", default=None, metavar="DIR",
+        help="goldens directory (default: <repo>/goldens, or $REPRO_GOLDENS)")
+    validate_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the structured drift report as JSON here")
 
     raw = list(argv if argv is not None else sys.argv[1:])
     # Convenience spellings: "figure6" == "figure 6", "table11" == "table 11".
+    # Only the token that *selects* the subcommand may be expanded: once a
+    # subcommand is on the line (or the token is the value of a
+    # value-taking global option), later tokens like "--only figure6" are
+    # arguments and must pass through untouched.
+    command_names = set(sub.choices)
+    value_options = {"--uops", "--jobs", "--cache-dir", "--metrics-out"}
     tokens = []
+    seen_command = False
+    expect_value = False
     for token in raw:
-        match = re.fullmatch(r"(figure|table)(\d+)", token)
-        tokens.extend([match.group(1), match.group(2)] if match else [token])
+        if not seen_command and not expect_value:
+            match = re.fullmatch(r"(figure|table)(\d+)", token)
+            if match:
+                tokens.extend([match.group(1), match.group(2)])
+                seen_command = True
+                continue
+            if token in command_names:
+                seen_command = True
+            elif token in value_options:
+                expect_value = True
+        else:
+            expect_value = False
+        tokens.append(token)
 
     args = parser.parse_args(tokens)
     if args.jobs != 1 or args.cache_dir is not None:
         # Replacing the engine drops its in-memory layer, so only do it
         # when the invocation actually asks for a different setup.
         engine.configure(jobs=args.jobs, cache_dir=args.cache_dir)
-    args.func(args)
-
-    destination = metrics_path(getattr(args, "metrics_out", None))
-    if destination:
-        write_manifest(
-            build_manifest(command="repro " + " ".join(raw)), destination
-        )
-        print(f"wrote manifest {destination}")
+    try:
+        args.func(args)
+    finally:
+        # Written even when the command fails (e.g. validate found drift):
+        # CI uploads the manifest with the embedded drift report.
+        destination = metrics_path(getattr(args, "metrics_out", None))
+        if destination:
+            write_manifest(
+                build_manifest(command="repro " + " ".join(raw)), destination
+            )
+            print(f"wrote manifest {destination}")
 
 
 if __name__ == "__main__":

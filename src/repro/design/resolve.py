@@ -298,6 +298,33 @@ def resolve_many(points, **overrides) -> List[ResolvedDesign]:
     return [resolve(point, **overrides) for point in points]
 
 
+def design_space_snapshot() -> Dict[str, dict]:
+    """Every registered point, spec plus fully resolved, as JSON data.
+
+    This is the ``points`` golden artifact: the declarative spec pins
+    the design space itself, the resolved view (derived clock, limiter,
+    concrete :class:`CoreConfig`) pins the whole resolution pipeline —
+    stack construction, partition planning, frequency policy and config
+    stamping — without running a single simulation.
+    """
+    from repro.design.registry import registered_points
+
+    snapshot: Dict[str, dict] = {}
+    for point in registered_points():
+        design = resolve(point)
+        snapshot[point.name] = {
+            "spec": point.to_dict(),
+            "resolved": {
+                "ghz": design.derivation.ghz,
+                "limiting_structure": design.derivation.limiting_structure,
+                "limiting_reduction": design.derivation.limiting_reduction,
+                "stack": design.stack.name,
+                "config": dataclasses.asdict(design.config),
+            },
+        }
+    return snapshot
+
+
 # -- the paper lineups, registry-resolved -------------------------------------
 
 

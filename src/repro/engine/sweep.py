@@ -168,7 +168,8 @@ class ExperimentEngine:
 
     # -- batch execution ------------------------------------------------------
 
-    def run_specs(self, specs: Sequence[SimSpec]) -> List[object]:
+    def run_specs(self, specs: Sequence[SimSpec],
+                  use_cache: bool = True) -> List[object]:
         """Execute a batch of specs; results come back in spec order.
 
         Cached specs are served without simulating; the misses are
@@ -179,17 +180,26 @@ class ExperimentEngine:
         :attr:`telemetry` (hit/miss split, kernel batch widths and
         fallbacks, per-spec wall time — a group's time split evenly over
         its specs — and aggregated pipeline stall counters).
+
+        ``use_cache=False`` bypasses the result cache in both directions
+        (no lookups, no stores): every spec is simulated fresh.  The
+        golden layer's differential oracles use this to guarantee that a
+        serial-vs-parallel or kernel-vs-oracle comparison exercises two
+        real executions rather than one execution and one cache hit.
         """
         batch_start = time.perf_counter()
         keys = [spec.cache_key() for spec in specs]
         results: List[object] = [None] * len(specs)
         missing: List[int] = []
-        for index, key in enumerate(keys):
-            hit, value = self.cache.get(key)
-            if hit:
-                results[index] = value
-            else:
-                missing.append(index)
+        if use_cache:
+            for index, key in enumerate(keys):
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[index] = value
+                else:
+                    missing.append(index)
+        else:
+            missing = list(range(len(specs)))
         workers = 1
         durations: Dict[int, float] = {}
         if missing:
@@ -213,7 +223,8 @@ class ExperimentEngine:
                 share = seconds / len(group)
                 for index, value in zip(group, fresh):
                     results[index] = value
-                    self.cache.put(keys[index], value)
+                    if use_cache:
+                        self.cache.put(keys[index], value)
                     durations[index] = share
                 self.telemetry.record_kernel_batch(
                     mode=first.mode,

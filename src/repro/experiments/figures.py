@@ -51,6 +51,22 @@ class FigureSeries:
     def averages(self) -> Dict[str, float]:
         return {config: self.average(config) for config in self.values}
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view: per-app series keyed by app name, plus the
+        suite averages (consumed by the golden snapshot layer)."""
+        return {
+            "name": self.name,
+            "apps": list(self.apps),
+            "series": {
+                config: {
+                    app: value
+                    for app, value in zip(self.apps, self.values[config])
+                }
+                for config in self.values
+            },
+            "averages": self.averages(),
+        }
+
     def print(self) -> None:
         print(f"\n=== {self.name} ===")
         configs = list(self.values)
@@ -164,3 +180,15 @@ def figure10(total_uops: int = MULTICORE_UOPS, seed: int = 1234) -> FigureSeries
             )
             values[cfg.name].append(report.total * scale / base_report.total)
     return FigureSeries("Figure 10: multicore normalized energy", apps, values)
+
+
+#: Simulated-figure builders by artifact name.  Values are
+#: ``(builder, multicore)``: single-core figures take the measured uops
+#: per run, multicore figures the total work across all cores.
+FIGURE_BUILDERS = {
+    "figure6": (figure6, False),
+    "figure7": (figure7, False),
+    "figure8": (figure8, False),
+    "figure9": (figure9, True),
+    "figure10": (figure10, True),
+}

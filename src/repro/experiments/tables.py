@@ -34,6 +34,15 @@ class TableRow:
     model: Dict[str, float]
     paper: Dict[str, float]
 
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-ready view (consumed by the golden snapshot layer)."""
+        return {"model": dict(self.model), "paper": dict(self.paper)}
+
+
+def rows_payload(rows: List[TableRow]) -> Dict[str, object]:
+    """Key a table's rows by name: the golden-artifact payload shape."""
+    return {"rows": {row.key: row.as_dict() for row in rows}}
+
 
 def table1() -> List[TableRow]:
     """Table 1: via area overhead vs a 32b adder and 32 SRAM cells."""
@@ -202,6 +211,25 @@ def table11() -> List[TableRow]:
         )
         for name in TABLE11_ORDER
     ]
+
+
+#: Zero-argument builders for every uops-independent table artifact,
+#: in paper order.  The golden layer (:mod:`repro.golden.artifacts`)
+#: snapshots exactly these payloads.
+TABLE_PAYLOADS = {
+    "table1": lambda: rows_payload(table1()),
+    "table2": lambda: rows_payload(table2()),
+    "table3": lambda: rows_payload(table3()),
+    "table4": lambda: rows_payload(table4()),
+    "table5": lambda: rows_payload(table5()),
+    "table6": lambda: {"variants": {
+        "M3D": rows_payload(table6("M3D"))["rows"],
+        "TSV3D": rows_payload(table6("TSV3D"))["rows"],
+    }},
+    "table8": lambda: rows_payload(table8()),
+    "table11": lambda: rows_payload(table11()),
+    "figure2": lambda: rows_payload([figure2()]),
+}
 
 
 def print_rows(title: str, rows: List[TableRow]) -> None:

@@ -19,7 +19,10 @@ from repro.obs.manifest import (
     ManifestError,
     build_manifest,
     check_manifest,
+    clear_validation,
     metrics_path,
+    record_validation,
+    recorded_validation,
     validate_manifest,
     write_manifest,
 )
@@ -45,9 +48,12 @@ __all__ = [
     "TimerSpan",
     "build_manifest",
     "check_manifest",
+    "clear_validation",
     "drain_spans",
     "metrics_path",
+    "record_validation",
     "recorded_spans",
+    "recorded_validation",
     "timer",
     "validate_manifest",
     "write_manifest",

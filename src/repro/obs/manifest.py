@@ -13,7 +13,10 @@ Every entry point (``python -m repro``, the experiment runner,
 * aggregated pipeline telemetry — per-stage stall cycles, activity
   counters, memory-level histograms — from every result the engine
   returned;
-* the named :mod:`repro.obs.timer` spans completed during the run.
+* the named :mod:`repro.obs.timer` spans completed during the run;
+* the golden-validation drift report (``repro validate``), when one was
+  recorded this process via :func:`record_validation` — the optional
+  ``validation`` section added in schema v3.
 
 :func:`validate_manifest` is a dependency-free structural validator
 (``python -m repro.obs <manifest.json>`` runs it from the command line;
@@ -31,11 +34,37 @@ from repro.obs.timer import TimerSpan, recorded_spans
 
 #: Current manifest schema identifier; bump when the shape changes.
 #: v2 added the ``kernel`` section (batched SoA-kernel usage records).
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v2"
+#: v3 added the optional ``validation`` section (golden drift report).
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v3"
 
 
 class ManifestError(ValueError):
     """Raised by :func:`check_manifest` for a structurally invalid manifest."""
+
+
+# -- validation-report capture ------------------------------------------------
+
+#: The drift report recorded by the last ``repro validate`` run in this
+#: process, if any (mirrors the timer-span pattern: repro.golden records
+#: here so the manifest layer never imports repro.golden).
+_VALIDATION_REPORT: Optional[Dict[str, Any]] = None
+
+
+def record_validation(report: Dict[str, Any]) -> None:
+    """Record a golden-validation drift report for the next manifest."""
+    global _VALIDATION_REPORT
+    _VALIDATION_REPORT = report
+
+
+def recorded_validation() -> Optional[Dict[str, Any]]:
+    """The drift report recorded this process (``None`` when no run)."""
+    return _VALIDATION_REPORT
+
+
+def clear_validation() -> None:
+    """Forget the recorded drift report (test isolation)."""
+    global _VALIDATION_REPORT
+    _VALIDATION_REPORT = None
 
 
 # -- construction -------------------------------------------------------------
@@ -66,7 +95,7 @@ def build_manifest(command: str, engine: Optional[object] = None,
     telemetry = engine.telemetry
     stats = engine.cache.stats
     cache_dir = engine.cache.cache_dir
-    return {
+    manifest = {
         "schema": MANIFEST_SCHEMA_VERSION,
         "created": created,
         "command": command,
@@ -103,6 +132,10 @@ def build_manifest(command: str, engine: Optional[object] = None,
             for span in (timers if timers is not None else recorded_spans())
         ],
     }
+    validation = recorded_validation()
+    if validation is not None:
+        manifest["validation"] = validation
+    return manifest
 
 
 def write_manifest(manifest: Dict[str, Any], path: os.PathLike) -> Path:
@@ -171,6 +204,21 @@ _KERNEL_BATCH_FIELDS = {
     "seconds": (int, float),
     "used_kernel": bool,
 }
+_VALIDATION_FIELDS = {
+    "schema": str,
+    "mode": str,
+    "deep": bool,
+    "status": str,
+    "artifacts": list,
+    "summary": dict,
+}
+_VALIDATION_ARTIFACT_FIELDS = {
+    "artifact": str,
+    "status": str,
+    "cells": int,
+    "drifts": list,
+}
+_DRIFT_FIELDS = {"path": str, "kind": str, "message": str}
 
 
 def _typecheck(value: Any, expected, where: str, problems: List[str]) -> None:
@@ -268,6 +316,27 @@ def validate_manifest(manifest: Any) -> List[str]:
     _check_counter_map(manifest.get("stalls"), "stalls", problems)
     _check_counter_map(manifest.get("mem_level_counts"), "mem_level_counts",
                        problems)
+    if "validation" in manifest:
+        validation = manifest["validation"]
+        _check_record(validation, _VALIDATION_FIELDS, "validation", problems)
+        if isinstance(validation, dict):
+            status = validation.get("status")
+            if status not in ("pass", "fail", "updated"):
+                problems.append(
+                    f"validation.status: expected pass/fail/updated, "
+                    f"got {status!r}"
+                )
+            entries = validation.get("artifacts")
+            if isinstance(entries, list):
+                for index, entry in enumerate(entries):
+                    where = f"validation.artifacts[{index}]"
+                    _check_record(entry, _VALIDATION_ARTIFACT_FIELDS, where,
+                                  problems)
+                    if isinstance(entry, dict) \
+                            and isinstance(entry.get("drifts"), list):
+                        for j, drift in enumerate(entry["drifts"]):
+                            _check_record(drift, _DRIFT_FIELDS,
+                                          f"{where}.drifts[{j}]", problems)
     return problems
 
 

@@ -11,7 +11,6 @@ replay-sharing optimisations silently depend on.
 """
 
 import dataclasses
-import hashlib
 import os
 
 import pytest
@@ -21,6 +20,7 @@ from repro.core.configs import (
     multicore_configs,
     single_core_configs,
 )
+from repro.golden import TRACE_CASES, load_golden, trace_digest
 from repro.uarch import kernel
 from repro.uarch.kernel import (
     kernel_enabled,
@@ -203,35 +203,25 @@ def test_engine_telemetry_counts_kernel_batches():
 
 # ---------------------------------------------------------------------------
 # Generator pinning: the replay-sharing memos assume traces are
-# deterministic functions of (profile, uops, seed, thread)
+# deterministic functions of (profile, uops, seed, thread).  The pinned
+# digests live in goldens/traces.json; the cases, the hash and the
+# golden store are all repro.golden's (re-bless with
+# `repro validate --update --only traces`).
 # ---------------------------------------------------------------------------
 
 
-def _trace_digest(trace) -> str:
-    hasher = hashlib.sha256()
-    for u in trace.ops:
-        hasher.update(repr((u.op.value, u.src1, u.src2, u.address, u.pc,
-                            u.taken, u.barrier)).encode())
-    hasher.update(repr((trace.name, trace.warmup_ops, trace.resident_data,
-                        trace.resident_code)).encode())
-    return hasher.hexdigest()
-
-
-@pytest.mark.parametrize("case", [
-    ("spec", 0, 2000, 1234, None,
-     "bab2bedc7b9b57a6437a7f71c155ca8fa7635774d4c8bee111ce535b16d0606c"),
-    ("spec", 5, 1500, 7, None,
-     "31476f7cdee16e24c21e5aab2ffbb582b286323e03aae9eaacb1a22e1e83ed88"),
-    ("parallel", 0, 1200, 1234, 0,
-     "a13925e11e84acda2fc3b56ea3a3e1a932a52758b33d57554d13532233358538"),
-    ("parallel", 3, 900, 99, 2,
-     "a8f851ee39d10463594fcc472a6258c925839ad50a392b66928ce23735bde8f9"),
-])
+@pytest.mark.parametrize("case", TRACE_CASES,
+                         ids=lambda c: f"{c[0]}{c[1]}-u{c[2]}-s{c[3]}")
 def test_generated_trace_digests_pinned(case):
-    suite, index, uops, seed, thread, expected = case
+    suite, index, uops, seed, thread = case
+    expected = {
+        (c["suite"], c["index"], c["uops"], c["seed"], c["thread"]):
+            c["digest"]
+        for c in load_golden("traces")["payload"]["cases"]
+    }[(suite, index, uops, seed, thread)]
     profiles = spec_profiles() if suite == "spec" else parallel_profiles()
     trace = _fresh_trace(profiles[index], uops, seed=seed, thread=thread)
-    assert _trace_digest(trace) == expected
+    assert trace_digest(trace) == expected
 
 
 # ---------------------------------------------------------------------------

@@ -331,3 +331,124 @@ def test_thermal_tsv_always_hotter_than_m3d(power):
     m3d = peak_temperature_m3d(power, grid=6)
     tsv = peak_temperature_tsv3d(power, grid=6)
     assert tsv.peak_c > m3d.peak_c
+
+
+# ---------------------------------------------------------------------------
+# Golden comparator invariants
+# ---------------------------------------------------------------------------
+
+
+_JSON_LEAVES = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(width=64),  # NaN and infinities included on purpose
+    st.text(max_size=12),
+)
+_JSON_PAYLOADS = st.recursive(
+    _JSON_LEAVES,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(min_size=1, max_size=8), children,
+                        max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+@given(payload=_JSON_PAYLOADS)
+def test_golden_compare_reflexive(payload):
+    """compare(x, x) is clean for every JSON-shaped payload, non-finite
+    floats included."""
+    from repro.golden import canonical, compare_payloads
+
+    value = canonical(payload)
+    result = compare_payloads("prop", value, value)
+    assert result.clean
+
+
+@given(payload=_JSON_PAYLOADS)
+def test_golden_serialization_byte_stable(payload):
+    """dumps(loads(dumps(x))) == dumps(x): the canonical form is a
+    fixed point of its own round trip."""
+    import json
+
+    from repro.golden import canonical_dumps
+
+    text = canonical_dumps(payload)
+    assert canonical_dumps(json.loads(text)) == text
+
+
+@given(
+    base=st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False),
+    scale=st.floats(min_value=2.0, max_value=1e6),
+    negative=st.booleans(),
+)
+def test_golden_beyond_tolerance_perturbation_always_drifts(base, scale,
+                                                            negative):
+    """Any perturbation beyond the rtol/atol envelope yields exactly one
+    value drift at the perturbed cell."""
+    from repro.golden import MODEL_FLOAT, compare_payloads
+
+    margin = MODEL_FLOAT.atol + MODEL_FLOAT.rtol * abs(base)
+    perturbed = base + margin * scale * (-1 if negative else 1)
+    result = compare_payloads(
+        "prop", {"m": {"x": base}}, {"m": {"x": perturbed}}
+    )
+    assert [d.kind for d in result.drifts] == ["value"]
+    assert result.drifts[0].path == "m/x"
+
+
+@given(
+    base=st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False),
+    fraction=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_golden_within_tolerance_perturbation_never_drifts(base, fraction):
+    from repro.golden import MODEL_FLOAT, compare_payloads
+
+    margin = MODEL_FLOAT.atol + MODEL_FLOAT.rtol * abs(base)
+    perturbed = base + margin * fraction
+    assert compare_payloads(
+        "prop", {"m": {"x": base}}, {"m": {"x": perturbed}}
+    ).clean
+
+
+# ---------------------------------------------------------------------------
+# DesignPoint serialization round trip
+# ---------------------------------------------------------------------------
+
+
+_POINT_STRATEGY = st.builds(
+    dict,
+    name=st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+        max_size=12,
+    ),
+    stack=st.sampled_from(["2D", "M3D", "TSV3D"]),
+    partition=st.sampled_from(["symmetric", "asymmetric"]),
+    frequency_policy=st.sampled_from(["base", "fixed", "derived"]),
+    top_layer_slowdown=st.sampled_from([0.0, 0.1, 0.25]),
+    top_layer_flavor=st.sampled_from(["HP", "LP"]),
+    num_cores=st.sampled_from([1, 4]),
+    fixed_frequency=st.sampled_from([2.2e9, 3.3e9]),
+    use_paper_values=st.booleans(),
+)
+
+
+@given(fields=_POINT_STRATEGY)
+def test_design_point_json_round_trip(fields):
+    """to_dict -> JSON text -> from_dict reproduces the point exactly."""
+    import json
+
+    from repro.design import DesignPoint
+
+    if fields["stack"] == "2D" and fields["frequency_policy"] == "derived":
+        # A 2D stack has no 3D frequency to derive; the constructor
+        # rejects the combination by design.
+        fields["frequency_policy"] = "base"
+    point = DesignPoint(**fields)
+    rebuilt = DesignPoint.from_dict(json.loads(json.dumps(point.to_dict())))
+    assert rebuilt == point
+    assert rebuilt.to_dict() == point.to_dict()
