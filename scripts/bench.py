@@ -20,9 +20,13 @@ Sections
     simulate anything).
 ``kernel``
     Per-config scalar oracle vs :func:`repro.uarch.kernel.run_trace_batch`
-    on one shared trace — both the default (scalar batch) path and the
-    forced NumPy path — plus the max CPI divergence vs the oracle
+    on one shared trace — both the forced batched-scalar path and the
+    vectorized path — plus the max CPI divergence vs the oracle
     (must be 0: the kernel is cycle-exact).
+``kernel_crossover``
+    Scalar / batched-scalar / vectorized seconds at widths 2-64 via
+    :func:`repro.uarch.kernel.calibrate`, the measured dispatch
+    crossover, and the tuned threshold persisted for this host.
 ``thermal``
     Scalar ``lil_matrix``+``spsolve`` reference vs the vectorized,
     ``splu``-factorized fast path, amortised over a Figure-8-sized batch
@@ -216,9 +220,11 @@ def bench_kernel(uops: int) -> dict:
 
     Three passes over the same workload, each on a freshly generated
     trace so none inherits the previous pass's decode/replay memos:
-    per-config ``run_trace`` (the oracle), ``run_trace_batch`` at the
-    default vector threshold (scalar batch path at this width), and
-    ``run_trace_batch`` forced through the NumPy path.
+    per-config ``run_trace`` (the oracle), ``run_trace_batch`` with the
+    vectorized path forced off (the batched-scalar loop — the tuned
+    threshold now sits at/below this width, so the default dispatch
+    would take the vectorized path), and ``run_trace_batch`` forced
+    through the vectorized path.
     """
     from repro.core.configs import single_core_configs
     from repro.uarch import ooo
@@ -236,7 +242,8 @@ def bench_kernel(uops: int) -> dict:
     with timer("kernel.scalar") as scalar_span:
         oracle = [ooo.run_trace(config, trace) for config in configs]
     with timer("kernel.batched") as batched_span:
-        batched = run_trace_batch(configs, fresh_trace())
+        batched = run_trace_batch(configs, fresh_trace(),
+                                  min_vector_width=10**9)
     with timer("kernel.vectorized") as vector_span:
         vectorized = run_trace_batch(configs, fresh_trace(),
                                      min_vector_width=1)
@@ -265,6 +272,58 @@ def bench_kernel(uops: int) -> dict:
         "max_cpi_divergence": max(
             max_cpi_divergence(batched), max_cpi_divergence(vectorized)
         ),
+    }
+
+
+def bench_kernel_crossover(uops: int, repeats: int,
+                           widths=(2, 4, 8, 16, 32, 64)) -> dict:
+    """Scalar vs batched-scalar vs vectorized seconds across batch
+    widths, plus the measured crossover, persisted as the tuned default.
+
+    ``batched`` and ``vectorized`` come from
+    :func:`repro.uarch.kernel.calibrate` (min-of-``repeats``, shared
+    decode/replay — the two internal batch paths); ``scalar`` is the
+    full per-config oracle at each width for scale.  The calibration
+    record lands in the tuning file, so subsequent runs on this host
+    dispatch at the measured crossover rather than the static default.
+    """
+    from repro.core.configs import single_core_configs
+    from repro.uarch import kernel, ooo
+    from repro.workloads.generator import generate_trace
+    from repro.workloads.spec import spec_profiles
+
+    with timer("kernel.calibrate") as span:
+        calibration = kernel.calibrate(widths=widths, uops=uops,
+                                       repeats=repeats)
+    tuning_file = kernel.save_tuning(calibration)
+
+    profile = spec_profiles()[0]
+    base = single_core_configs()
+    trace = generate_trace(profile, uops, seed=1234)
+    scalar_seconds = {}
+    for width in widths:
+        configs = [base[k % len(base)] for k in range(width)]
+        with timer(f"kernel.scalar_w{width}") as scalar_span:
+            for config in configs:
+                ooo.run_trace(config, trace)
+        scalar_seconds[str(width)] = round(scalar_span.seconds, 4)
+
+    return {
+        "uops": uops,
+        "repeats": repeats,
+        "widths": list(widths),
+        "scalar_seconds": scalar_seconds,
+        "batched_seconds": {
+            k: round(v, 4) for k, v in calibration["batched_seconds"].items()
+        },
+        "vectorized_seconds": {
+            k: round(v, 4)
+            for k, v in calibration["vectorized_seconds"].items()
+        },
+        "crossover": calibration["crossover"],
+        "tuned_vector_min": calibration["vector_min"],
+        "tuning_file": str(tuning_file),
+        "calibrate_seconds": round(span.seconds, 3),
     }
 
 
@@ -344,10 +403,12 @@ def main() -> None:
 
     if args.quick:
         sizes = dict(uops=1000, multicore_uops=3000, grid=8, solves=3,
-                     limiter_uops=20000, kernel_uops=2000)
+                     limiter_uops=20000, kernel_uops=2000,
+                     crossover_uops=400, crossover_repeats=1)
     else:
         sizes = dict(uops=8000, multicore_uops=24000, grid=12, solves=21,
-                     limiter_uops=60000, kernel_uops=8000)
+                     limiter_uops=60000, kernel_uops=8000,
+                     crossover_uops=2000, crossover_repeats=3)
 
     if args.output:
         out = Path(args.output)
@@ -366,6 +427,16 @@ def main() -> None:
             "cpu_count": os.cpu_count(),
         },
     }
+    print(f"calibrating kernel dispatch threshold "
+          f"(uops={sizes['crossover_uops']}) ...")
+    record["kernel_crossover"] = bench_kernel_crossover(
+        sizes["crossover_uops"], sizes["crossover_repeats"]
+    )
+    print(f"  crossover at width {record['kernel_crossover']['crossover']}, "
+          f"tuned vector_min "
+          f"{record['kernel_crossover']['tuned_vector_min']} "
+          f"-> {record['kernel_crossover']['tuning_file']}")
+
     print(f"benchmarking runner (uops={sizes['uops']}, "
           f"multicore_uops={sizes['multicore_uops']}) ...")
     record["runner"], cold_engine = bench_runner(

@@ -108,7 +108,8 @@ def _timed_execute_spec(spec: SimSpec):
     return result, time.perf_counter() - start
 
 
-def execute_spec_group(specs: Sequence[SimSpec]):
+def execute_spec_group(specs: Sequence[SimSpec],
+                       stats_out: Optional[dict] = None):
     """Run a group of specs sharing one (mode, profile, uops, seed).
 
     Groups of two or more go through the batched SoA kernel — one trace
@@ -116,23 +117,68 @@ def execute_spec_group(specs: Sequence[SimSpec]):
     only — unless ``$REPRO_KERNEL=0`` disables it.  Returns
     ``(results, used_kernel)``; results are in spec order and identical
     either way (the kernel is cycle-exact against the oracle).
+    ``stats_out`` collects the kernel's internal path counters
+    (``vectorized_groups`` / ``scalar_groups``) for single-core groups.
     """
     first = specs[0]
     if len(specs) > 1 and kernel_enabled():
         configs = [spec.config for spec in specs]
         if first.mode == "single":
             trace = _trace_for(first.profile, first.uops, first.seed)
-            return run_trace_batch(configs, trace), True
+            return run_trace_batch(configs, trace,
+                                   stats_out=stats_out), True
         return run_parallel_batch(configs, first.profile, first.uops,
                                   seed=first.seed), True
     return [execute_spec(spec) for spec in specs], False
 
 
-def _timed_execute_group(specs: Sequence[SimSpec]):
-    """Worker-side wrapper: (results, wall seconds, used_kernel)."""
+def _kernel_path(stats: Optional[dict]) -> Optional[str]:
+    """Summarize ``run_trace_batch`` path counters for telemetry."""
+    if not stats:
+        return None
+    vectorized = stats.get("vectorized_groups", 0)
+    scalar = stats.get("scalar_groups", 0)
+    if vectorized and scalar:
+        return "mixed"
+    if vectorized:
+        return "vectorized"
+    if scalar:
+        return "scalar"
+    return None
+
+
+def _timed_execute_unit(unit):
+    """Worker-side wrapper for one work unit.
+
+    ``unit`` is ``("copy", specs)`` — derive everything in this process
+    (the original path) — or ``("shm", handle, specs)`` — attach the
+    published replay block and run only the timing recurrences.  A
+    failed attach (the block vanished, no ``/dev/shm``, a forked
+    platform quirk) silently degrades to the copy path; results are
+    identical either way.  Returns
+    ``(results, seconds, used_kernel, path, shm_used)``.
+    """
     start = time.perf_counter()
-    results, used_kernel = execute_spec_group(specs)
-    return results, time.perf_counter() - start, used_kernel
+    stats: dict = {}
+    shm_used = False
+    if unit[0] == "shm":
+        from repro.uarch import shm as kernel_shm
+
+        handle, specs = unit[1], unit[2]
+        try:
+            results = kernel_shm.run_handle_batch(
+                handle, [spec.config for spec in specs], stats_out=stats
+            )
+            used_kernel = True
+            shm_used = True
+        except Exception:
+            stats = {}
+            results, used_kernel = execute_spec_group(specs, stats_out=stats)
+    else:
+        specs = unit[1]
+        results, used_kernel = execute_spec_group(specs, stats_out=stats)
+    return (results, time.perf_counter() - start, used_kernel,
+            _kernel_path(stats), shm_used)
 
 
 def _group_missing(specs: Sequence[SimSpec],
@@ -205,32 +251,48 @@ class ExperimentEngine:
         if missing:
             # Specs sharing a trace form one kernel batch: a group of N
             # configs costs one decode + one replay per geometry + N
-            # timing passes instead of N full scalar simulations.
+            # timing passes instead of N full scalar simulations.  With
+            # spare workers, wide single-core groups additionally shard
+            # across the pool behind one shared-memory replay block —
+            # the parent decodes/replays once, each shard attaches.
             groups = _group_missing(specs, missing)
             group_specs = [[specs[i] for i in group] for group in groups]
-            if self.jobs > 1 and len(groups) > 1:
-                workers = min(self.jobs, len(groups))
-                chunk = max(1, len(groups) // (workers * 4))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    timed = list(
-                        pool.map(_timed_execute_group, group_specs,
-                                 chunksize=chunk)
-                    )
-            else:
-                timed = [_timed_execute_group(batch) for batch in group_specs]
-            for group, (fresh, seconds, used_kernel) in zip(groups, timed):
-                first = specs[group[0]]
-                share = seconds / len(group)
-                for index, value in zip(group, fresh):
+            published: List[object] = []
+            try:
+                units, unit_indices = self._plan_units(
+                    groups, group_specs, published
+                )
+                if self.jobs > 1 and len(units) > 1:
+                    workers = min(self.jobs, len(units))
+                    chunk = max(1, len(units) // (workers * 4))
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        timed = list(
+                            pool.map(_timed_execute_unit, units,
+                                     chunksize=chunk)
+                        )
+                else:
+                    timed = [_timed_execute_unit(unit) for unit in units]
+            finally:
+                # Publisher owns every block: unlink unconditionally so
+                # a worker crash can't leak /dev/shm segments.
+                for publication in published:
+                    publication.unlink()
+            for indices, outcome in zip(unit_indices, timed):
+                fresh, seconds, used_kernel, path, shm_used = outcome
+                first = specs[indices[0]]
+                share = seconds / len(indices)
+                for index, value in zip(indices, fresh):
                     results[index] = value
                     if use_cache:
                         self.cache.put(keys[index], value)
                     durations[index] = share
                 self.telemetry.record_kernel_batch(
                     mode=first.mode,
-                    width=len(group),
+                    width=len(indices),
                     seconds=seconds,
                     used_kernel=used_kernel,
+                    path=path,
+                    shm=shm_used,
                 )
         telemetry = self.telemetry
         telemetry.record_batch(
@@ -254,6 +316,62 @@ class ExperimentEngine:
             )
             telemetry.observe_result(results[index])
         return results
+
+    def _plan_units(self, groups: List[List[int]],
+                    group_specs: List[List[SimSpec]],
+                    published: List[object]):
+        """Turn trace groups into pool work units.
+
+        Default: one ``("copy", specs)`` unit per group — the worker
+        derives trace/decode/replay itself, exactly the pre-shm path.
+        When the pool would otherwise idle (fewer groups than workers),
+        wide single-core groups are sharded: the parent publishes the
+        group's replay state to shared memory once and emits
+        ``("shm", handle, shard_specs)`` units whose workers attach
+        instead of re-deriving.  Publications are appended to
+        ``published``; the caller unlinks them in its ``finally``.
+        Any publish failure quietly keeps that group on the copy path.
+        """
+        units: List[tuple] = []
+        unit_indices: List[List[int]] = []
+        sharding = self.jobs > 1 and len(groups) < self.jobs \
+            and kernel_enabled()
+        if sharding:
+            from repro.uarch import shm as kernel_shm
+            sharding = kernel_shm.shm_enabled()
+        for indices, batch in zip(groups, group_specs):
+            first = batch[0]
+            shards = 1
+            if sharding and first.mode == "single":
+                # Fair share of the pool, but never shards thinner than
+                # two configs (one config per unit would just re-pay
+                # per-unit overhead without batching anything).
+                shards = min(len(batch) // 2,
+                             max(1, self.jobs // len(groups)))
+            if shards > 1:
+                try:
+                    from repro.uarch import shm as kernel_shm
+                    trace = _trace_for(first.profile, first.uops, first.seed)
+                    publication = kernel_shm.publish_group(
+                        trace, [spec.config for spec in batch]
+                    )
+                except Exception:
+                    shards = 1
+                else:
+                    published.append(publication)
+                    base, extra = divmod(len(batch), shards)
+                    cursor = 0
+                    for shard in range(shards):
+                        size = base + (1 if shard < extra else 0)
+                        chunk = slice(cursor, cursor + size)
+                        units.append(("shm", publication.handle,
+                                      batch[chunk]))
+                        unit_indices.append(indices[chunk])
+                        cursor += size
+            if shards == 1:
+                units.append(("copy", batch))
+                unit_indices.append(indices)
+        return units, unit_indices
 
     # -- single results -------------------------------------------------------
 

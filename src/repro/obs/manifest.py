@@ -35,7 +35,10 @@ from repro.obs.timer import TimerSpan, recorded_spans
 #: Current manifest schema identifier; bump when the shape changes.
 #: v2 added the ``kernel`` section (batched SoA-kernel usage records).
 #: v3 added the optional ``validation`` section (golden drift report).
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v3"
+#: v4 added kernel-path and shared-memory telemetry: per-batch ``path``
+#: / ``shm`` fields and the vectorized/scalar/mixed/shm group counts in
+#: the kernel summary.
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v4"
 
 
 class ManifestError(ValueError):
@@ -197,12 +200,18 @@ _KERNEL_SUMMARY_FIELDS = {
     "singleton_specs": int,
     "max_width": int,
     "seconds": (int, float),
+    "vectorized_groups": int,
+    "scalar_groups": int,
+    "mixed_groups": int,
+    "shm_groups": int,
 }
 _KERNEL_BATCH_FIELDS = {
     "mode": str,
     "width": int,
     "seconds": (int, float),
     "used_kernel": bool,
+    "path": (str, type(None)),
+    "shm": bool,
 }
 _VALIDATION_FIELDS = {
     "schema": str,

@@ -214,6 +214,87 @@ def _mc_trace(profile: AppProfile, share: int, seed: int, thread: int):
     )
 
 
+def prepare_geometry_replay(
+    profile: AppProfile,
+    total_uops: int,
+    seed: int,
+    traces: List,
+    cores: int,
+    shared_l2: bool,
+    donor: CoreConfig,
+) -> tuple:
+    """Memoized replay state for one (core count, L2 geometry) slice:
+    ``(images, coherence_transfers, noc_penalty)``.
+
+    This is the configuration-independent half of a multicore batch —
+    everything that depends only on the trace set and the geometry.
+    Split out of :func:`run_parallel_batch` so alternative executors
+    (shared-memory workers, future remote pools) can reuse the replay
+    without re-deriving it per configuration.
+    """
+    from repro.engine.cache import make_key
+    from repro.uarch import kernel
+
+    noc = RingNoc(cores, shared_stops=shared_l2)
+    penalty = noc.average_latency
+
+    def build_images():
+        # Replay cores sequentially through one shared directory
+        # — the same access interleaving as run_parallel's
+        # core-by-core loop, so ownership transitions (and the
+        # transfer count) are identical.
+        coherence = CoherenceDirectory()
+        images = [
+            kernel.replay_memory(trace, donor, core_id=core_id,
+                                 coherence=coherence,
+                                 noc_penalty=penalty)
+            for core_id, trace in enumerate(traces)
+        ]
+        return images, coherence.transfers
+
+    image_key = make_key(
+        "mc-images", profile=profile, uops=total_uops, seed=seed,
+        cores=cores, shared_l2=shared_l2, noc=penalty,
+    )
+    images, transfers = _memo_get(
+        _MC_IMAGE_MEMO, _MC_IMAGE_MEMO_CAP, image_key, build_images
+    )
+    return images, transfers, penalty
+
+
+def evaluate_parallel_config(
+    config: CoreConfig,
+    profile: AppProfile,
+    total_uops: int,
+    traces: List,
+    images: List,
+    transfers: int,
+    penalty: int,
+) -> MulticoreResult:
+    """The configuration-dependent half of a multicore batch: per-core
+    timing recurrences over prepared replay state, then barrier
+    alignment.  Bit-exact against :func:`run_parallel` for the same
+    trace set and geometry."""
+    from repro.uarch import kernel
+
+    per_core = [
+        kernel.simulate_core(trace, config, image, noc_penalty=penalty)
+        for trace, image in zip(traces, images)
+    ]
+    total_cycles, wait_cycles = _align_barriers(per_core)
+    return MulticoreResult(
+        config_name=config.name,
+        trace_name=profile.name,
+        cycles=total_cycles,
+        frequency=config.frequency,
+        per_core=per_core,
+        barrier_wait_cycles=wait_cycles,
+        coherence_transfers=transfers,
+        noc_latency=penalty,
+        requested_uops=total_uops,
+    )
+
+
 def run_parallel_batch(
     configs: List[CoreConfig],
     profile: AppProfile,
@@ -225,13 +306,11 @@ def run_parallel_batch(
     Bit-exact against per-config :func:`run_parallel` calls, but configs
     with the same core count share generated traces, and configs with
     the same (core count, L2 geometry) additionally share the
-    coherence-sequenced cache replay; only the per-core timing
-    recurrences run per config, through the
-    :mod:`repro.uarch.kernel` scalar path.
+    coherence-sequenced cache replay
+    (:func:`prepare_geometry_replay`); only the per-core timing
+    recurrences (:func:`evaluate_parallel_config`) run per config,
+    through the :mod:`repro.uarch.kernel` scalar path.
     """
-    from repro.engine.cache import make_key
-    from repro.uarch import kernel
-
     if not profile.is_parallel:
         raise ValueError(f"{profile.name} is not a parallel profile")
     results: List[Optional[MulticoreResult]] = [None] * len(configs)
@@ -248,48 +327,13 @@ def run_parallel_batch(
         for index in indices:
             by_geometry.setdefault(configs[index].shared_l2, []).append(index)
         for shared_l2, geo_indices in by_geometry.items():
-            noc = RingNoc(cores, shared_stops=shared_l2)
-            penalty = noc.average_latency
-            donor = configs[geo_indices[0]]
-
-            def build_images(donor=donor):
-                # Replay cores sequentially through one shared directory
-                # — the same access interleaving as run_parallel's
-                # core-by-core loop, so ownership transitions (and the
-                # transfer count) are identical.
-                coherence = CoherenceDirectory()
-                images = [
-                    kernel.replay_memory(trace, donor, core_id=core_id,
-                                         coherence=coherence,
-                                         noc_penalty=penalty)
-                    for core_id, trace in enumerate(traces)
-                ]
-                return images, coherence.transfers
-
-            image_key = make_key(
-                "mc-images", profile=profile, uops=total_uops, seed=seed,
-                cores=cores, shared_l2=shared_l2, noc=penalty,
-            )
-            images, transfers = _memo_get(
-                _MC_IMAGE_MEMO, _MC_IMAGE_MEMO_CAP, image_key, build_images
+            images, transfers, penalty = prepare_geometry_replay(
+                profile, total_uops, seed, traces, cores, shared_l2,
+                donor=configs[geo_indices[0]],
             )
             for index in geo_indices:
-                config = configs[index]
-                per_core = [
-                    kernel.simulate_core(trace, config, image,
-                                         noc_penalty=penalty)
-                    for trace, image in zip(traces, images)
-                ]
-                total_cycles, wait_cycles = _align_barriers(per_core)
-                results[index] = MulticoreResult(
-                    config_name=config.name,
-                    trace_name=profile.name,
-                    cycles=total_cycles,
-                    frequency=config.frequency,
-                    per_core=per_core,
-                    barrier_wait_cycles=wait_cycles,
-                    coherence_transfers=transfers,
-                    noc_latency=penalty,
-                    requested_uops=total_uops,
+                results[index] = evaluate_parallel_config(
+                    configs[index], profile, total_uops, traces, images,
+                    transfers, penalty,
                 )
     return results

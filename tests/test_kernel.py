@@ -12,6 +12,7 @@ replay-sharing optimisations silently depend on.
 
 import dataclasses
 import os
+import warnings
 
 import pytest
 
@@ -120,12 +121,55 @@ def test_stats_out_reports_path_taken():
     configs = single_core_configs()
     profile = spec_profiles()[0]
     stats = {}
-    run_trace_batch(configs, _fresh_trace(profile, 600), stats_out=stats)
-    assert stats["scalar_groups"] >= 1  # width 6 < default vector threshold
+    run_trace_batch(configs, _fresh_trace(profile, 600),
+                    min_vector_width=10**9, stats_out=stats)
+    assert stats["scalar_groups"] >= 1  # threshold forced above the width
     stats = {}
     run_trace_batch(configs, _fresh_trace(profile, 600), min_vector_width=1,
                     stats_out=stats)
     assert stats["vectorized_groups"] >= 1
+
+
+@pytest.mark.parametrize("delta", [-1, 0, 1])
+def test_dispatch_boundary_widths(delta):
+    """Exactness and path selection at threshold-1 / threshold /
+    threshold+1 configs (the widths where dispatch flips paths)."""
+    threshold = 4
+    width = threshold + delta
+    base = base_config()
+    configs = [
+        dataclasses.replace(base, name=f"b{k}", rob_entries=base.rob_entries + k)
+        for k in range(width)
+    ]
+    profile = spec_profiles()[1]
+    trace = _fresh_trace(profile, 900)
+    oracle = [run_trace(config, trace) for config in configs]
+    stats = {}
+    batched = run_trace_batch(configs, _fresh_trace(profile, 900),
+                              min_vector_width=threshold, stats_out=stats)
+    assert batched == oracle  # 0.0 divergence vs the OOO oracle
+    if width >= threshold:
+        assert stats["vectorized_groups"] >= 1
+        assert stats.get("scalar_groups", 0) == 0
+    else:
+        assert stats["scalar_groups"] >= 1
+        assert stats.get("vectorized_groups", 0) == 0
+
+
+def test_config_axis_loop_matches_merged_loop(monkeypatch):
+    """The two internal vectorized modes (merged config-unrolled loop
+    below CONFIG_AXIS_MIN, NumPy config-axis loop above) are
+    interchangeable: forcing either at the same width changes nothing."""
+    configs = single_core_configs()
+    profile = spec_profiles()[3]
+    trace = _fresh_trace(profile, 1000)
+    oracle = [run_trace(config, trace) for config in configs]
+    monkeypatch.setattr(kernel, "CONFIG_AXIS_MIN", 1)  # force axis loop
+    assert run_trace_batch(configs, _fresh_trace(profile, 1000),
+                           min_vector_width=1) == oracle
+    monkeypatch.setattr(kernel, "CONFIG_AXIS_MIN", 10**9)  # force merged
+    assert run_trace_batch(configs, _fresh_trace(profile, 1000),
+                           min_vector_width=1) == oracle
 
 
 # ---------------------------------------------------------------------------
@@ -143,11 +187,88 @@ def test_kernel_enabled_env(monkeypatch):
     assert kernel_enabled()
 
 
-def test_vector_min_width_env(monkeypatch):
+def _isolate_tuning(monkeypatch, tmp_path):
+    """Point the tuned-threshold file somewhere empty so host tuning
+    state can't leak into threshold assertions."""
+    monkeypatch.setenv("REPRO_TUNING_FILE", str(tmp_path / "tuning.json"))
+
+
+def test_vector_min_width_env(monkeypatch, tmp_path):
+    _isolate_tuning(monkeypatch, tmp_path)
     monkeypatch.delenv("REPRO_KERNEL_VECTOR_MIN", raising=False)
     assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
     monkeypatch.setenv("REPRO_KERNEL_VECTOR_MIN", "3")
     assert vector_min_width() == 3
+
+
+@pytest.mark.parametrize("raw", ["abc", "2.5", "1e3", "0x10", "five"])
+def test_vector_min_env_garbage_warns_once(monkeypatch, tmp_path, raw):
+    _isolate_tuning(monkeypatch, tmp_path)
+    monkeypatch.setenv("REPRO_KERNEL_VECTOR_MIN", raw)
+    monkeypatch.setattr(kernel, "_WARNED_VECTOR_MIN", set())
+    with pytest.warns(RuntimeWarning, match="invalid"):
+        assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
+    # Warned exactly once per spelling: the second read is silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
+
+
+@pytest.mark.parametrize("raw", ["-3", "0", "1", "-100"])
+def test_vector_min_env_small_values_clamp_to_two(monkeypatch, tmp_path, raw):
+    _isolate_tuning(monkeypatch, tmp_path)
+    monkeypatch.setenv("REPRO_KERNEL_VECTOR_MIN", raw)
+    monkeypatch.setattr(kernel, "_WARNED_VECTOR_MIN", set())
+    with pytest.warns(RuntimeWarning, match="clamping"):
+        assert vector_min_width() == 2
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert vector_min_width() == 2
+
+
+def test_vector_min_env_blank_is_default_without_warning(monkeypatch,
+                                                         tmp_path):
+    _isolate_tuning(monkeypatch, tmp_path)
+    for raw in ("", "   "):
+        monkeypatch.setenv("REPRO_KERNEL_VECTOR_MIN", raw)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
+
+
+def test_tuned_threshold_precedence(monkeypatch, tmp_path):
+    """env > tuned file > DEFAULT_VECTOR_MIN, malformed files ignored."""
+    _isolate_tuning(monkeypatch, tmp_path)
+    monkeypatch.delenv("REPRO_KERNEL_VECTOR_MIN", raising=False)
+    assert kernel.tuned_vector_min() is None
+    assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
+
+    path = kernel.save_tuning({"vector_min": 7, "crossover": 7})
+    assert path == tmp_path / "tuning.json"
+    assert kernel.tuned_vector_min() == 7
+    assert vector_min_width() == 7
+
+    monkeypatch.setenv("REPRO_KERNEL_VECTOR_MIN", "5")
+    assert vector_min_width() == 5  # env beats the tuned file
+
+    monkeypatch.delenv("REPRO_KERNEL_VECTOR_MIN", raising=False)
+    for bad in ('{"vector_min": "lots"}', '{"vector_min": 1}',
+                '{"vector_min": true}', "not json", "[]"):
+        (tmp_path / "tuning.json").write_text(bad)
+        assert kernel.tuned_vector_min() is None
+        assert vector_min_width() == kernel.DEFAULT_VECTOR_MIN
+
+
+def test_calibrate_structure_and_persistence(monkeypatch, tmp_path):
+    _isolate_tuning(monkeypatch, tmp_path)
+    record = kernel.calibrate(widths=(2, 3), uops=250, repeats=1)
+    assert record["widths"] == [2, 3]
+    assert set(record["batched_seconds"]) == {"2", "3"}
+    assert set(record["vectorized_seconds"]) == {"2", "3"}
+    assert all(v > 0 for v in record["batched_seconds"].values())
+    assert record["vector_min"] >= 2
+    kernel.save_tuning(record)
+    assert kernel.tuned_vector_min() == record["vector_min"]
 
 
 # ---------------------------------------------------------------------------
