@@ -35,6 +35,12 @@ Sections
     ``repro validate`` over the static artifacts (tables, design points,
     trace digests) against the committed ``goldens/`` — a model drift
     tripwire that runs even in ``--quick`` mode.
+``explore``
+    ``repro explore`` throughput: a seeded random space evaluated cold
+    into a JSONL store, then *resumed* by a second run with a fresh
+    engine — the resume must re-evaluate nothing (every point comes back
+    from the store, not the cache) and reproduce the identical Pareto
+    frontier.
 ``limiter``
     Memory footprint of the per-cycle issue/FU occupancy maps on a long
     trace, with pruning disabled vs enabled.
@@ -71,6 +77,14 @@ from repro.obs import (  # noqa: E402  (path set up above)
 #: exists (see :func:`latest_bench_baseline`), so the trajectory is
 #: commit-over-commit rather than forever-vs-seed.
 SEED_RUNNER_SECONDS = 175.3
+
+#: Performance gate on the cold full-size runner pass.  The two latest
+#: full records on the reference container (BENCH_20260806, 21.97s;
+#: BENCH_20260808, 21.8s) put the floor at ~21.8s; the gate allows
+#: ~20% headroom for container jitter.  A full-mode cold pass slower
+#: than this fails CI (``gate_ok`` in the runner record) — raise the
+#: gate deliberately, with a committed BENCH record, not by accident.
+RUNNER_GATE_SECONDS = 26.0
 
 
 def latest_bench_baseline(exclude: Path = None) -> tuple:
@@ -161,6 +175,8 @@ def bench_runner(uops: int, multicore_uops: int, quick: bool,
             baseline_seconds / cold_seconds, 2
         )
         record["speedup_vs_seed"] = round(SEED_RUNNER_SECONDS / cold_seconds, 2)
+        record["gate_seconds"] = RUNNER_GATE_SECONDS
+        record["gate_ok"] = cold_seconds <= RUNNER_GATE_SECONDS
     return record, cold_engine
 
 
@@ -350,6 +366,65 @@ def bench_goldens() -> dict:
     }
 
 
+def bench_explore(samples: int, uops: int, apps: int) -> dict:
+    """Explore throughput plus a live resume check.
+
+    A seeded random space is evaluated cold (fresh engine, no cache)
+    into a temporary JSONL store, then the identical run is repeated
+    with *another* fresh engine pointed at the same store: everything
+    must resume from the store (zero evaluations, zero cache misses)
+    and the frontier must be byte-identical.
+    """
+    from repro.design.space import SpaceSpec
+    from repro.engine.sweep import ExperimentEngine
+    from repro.explore import explore
+    from repro.golden.serialize import canonical_dumps
+
+    space = SpaceSpec(
+        name="bench",
+        kind="random",
+        samples=samples,
+        seed=20260808,
+        axes={
+            "stack": ("M3D", "TSV3D"),
+            "top_layer_slowdown": (0.0, 0.17, 0.3, 0.5),
+            "partition": ("symmetric", "asymmetric"),
+            "frequency_policy": ("base", "derived"),
+            "vdd": (0.9, 1.0),
+        },
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-explore-") as tmp:
+        store_path = Path(tmp) / "store.jsonl"
+        with timer("explore.cold") as cold_span:
+            cold = explore(space, store_path=store_path, uops=uops,
+                           apps=apps, engine=ExperimentEngine(jobs=1))
+        resume_engine = ExperimentEngine(jobs=1)
+        with timer("explore.resume") as resume_span:
+            resumed = explore(space, store_path=store_path, uops=uops,
+                              apps=apps, engine=resume_engine)
+        frontier_identical = (
+            canonical_dumps(cold.frontier) == canonical_dumps(resumed.frontier)
+        )
+    cold_seconds = cold_span.seconds
+    return {
+        "samples": samples,
+        "uops": uops,
+        "apps": apps,
+        "unique_points": cold.unique_points,
+        "evaluated": cold.evaluated,
+        "chunks": cold.chunks,
+        "frontier_size": len(cold.frontier),
+        "cold_seconds": round(cold_seconds, 3),
+        "points_per_second": round(
+            cold.evaluated / max(cold_seconds, 1e-9), 1
+        ),
+        "resume_seconds": round(resume_span.seconds, 4),
+        "resume_evaluated": resumed.evaluated,
+        "resume_cache_misses": resume_engine.cache.stats.misses,
+        "frontier_identical": frontier_identical,
+    }
+
+
 def bench_limiter(uops: int) -> dict:
     from repro.core.configs import base_config
     from repro.uarch import ooo
@@ -404,11 +479,13 @@ def main() -> None:
     if args.quick:
         sizes = dict(uops=1000, multicore_uops=3000, grid=8, solves=3,
                      limiter_uops=20000, kernel_uops=2000,
-                     crossover_uops=400, crossover_repeats=1)
+                     crossover_uops=400, crossover_repeats=1,
+                     explore_samples=24, explore_uops=400, explore_apps=2)
     else:
         sizes = dict(uops=8000, multicore_uops=24000, grid=12, solves=21,
                      limiter_uops=60000, kernel_uops=8000,
-                     crossover_uops=2000, crossover_repeats=3)
+                     crossover_uops=2000, crossover_repeats=3,
+                     explore_samples=200, explore_uops=2000, explore_apps=3)
 
     if args.output:
         out = Path(args.output)
@@ -450,6 +527,8 @@ def main() -> None:
         print(f"  {record['runner']['speedup_vs_baseline']}x vs baseline "
               f"{record['runner']['baseline_seconds']}s "
               f"({record['runner']['baseline_source']})")
+        gate = "ok" if record["runner"]["gate_ok"] else "FAIL"
+        print(f"  perf gate {record['runner']['gate_seconds']}s: {gate}")
 
     print(f"benchmarking batched kernel (uops={sizes['kernel_uops']}) ...")
     record["kernel"] = bench_kernel(sizes["kernel_uops"])
@@ -474,6 +553,20 @@ def main() -> None:
           f"{record['goldens']['cells']} cells across "
           f"{record['goldens']['artifacts']} artifacts in "
           f"{record['goldens']['seconds']}s")
+
+    print(f"benchmarking explore (samples={sizes['explore_samples']}, "
+          f"uops={sizes['explore_uops']}) ...")
+    record["explore"] = bench_explore(
+        sizes["explore_samples"], sizes["explore_uops"],
+        sizes["explore_apps"]
+    )
+    print(f"  cold {record['explore']['cold_seconds']}s "
+          f"({record['explore']['evaluated']} points, "
+          f"{record['explore']['points_per_second']}/s), resume "
+          f"{record['explore']['resume_seconds']}s "
+          f"({record['explore']['resume_evaluated']} re-evaluated, "
+          f"frontier identical: "
+          f"{record['explore']['frontier_identical']})")
 
     print(f"benchmarking limiter pruning (uops={sizes['limiter_uops']}) ...")
     record["limiter"] = bench_limiter(sizes["limiter_uops"])

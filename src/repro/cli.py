@@ -31,6 +31,13 @@ Commands
     ``--update`` re-blesses goldens, ``--only table11,figure6`` selects
     artifacts, ``--deep`` adds the differential oracles,
     ``--report PATH`` writes the drift report as JSON.
+
+``explore <space.json>``
+    Search a declarative design space (:class:`~repro.design.space.SpaceSpec`):
+    lazy cartesian/random expansion, chunked evaluation through the
+    batched kernel, crash-safe resume from an append-only JSONL store
+    (``--store PATH``), and ``--pareto`` for the frequency / energy /
+    peak-temperature frontier.
 """
 
 from __future__ import annotations
@@ -210,6 +217,54 @@ def cmd_validate(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_explore(args: argparse.Namespace) -> None:
+    from repro.design.space import SpaceError, load_space
+    from repro.explore import explore, print_frontier
+
+    try:
+        space = load_space(args.space)
+    except (OSError, SpaceError) as exc:
+        raise SystemExit(f"cannot load space: {exc}")
+
+    def progress(update):
+        print(f"  chunk {update['chunk']}: "
+              f"{update['evaluated']} evaluated, "
+              f"{update['skipped']} resumed, "
+              f"{update['duplicates']} duplicates "
+              f"({update['total_points']} points walked)")
+
+    size = space.cartesian_size()
+    extent = space.samples if size is None else size
+    print(f"exploring {space.name} ({space.kind}, {extent} points"
+          + (f", limit {args.limit}" if args.limit else "") + ")")
+    try:
+        report = explore(
+            space,
+            store_path=args.store,
+            chunk_size=args.chunk,
+            uops=args.uops,
+            apps=args.apps,
+            grid=args.grid,
+            limit=args.limit,
+            progress=progress,
+        )
+    except SpaceError as exc:
+        raise SystemExit(str(exc))
+    summary = report.as_dict()
+    print(f"\n{summary['space']}: {summary['unique_points']} unique of "
+          f"{summary['total_points']} points; {summary['evaluated']} "
+          f"evaluated, {summary['skipped']} resumed from store, "
+          f"{summary['duplicates']} duplicates "
+          f"({summary['chunks']} chunks, {summary['seconds']:.1f}s)")
+    if args.store:
+        print(f"store: {args.store}")
+    if args.pareto:
+        print_frontier(report.frontier)
+    else:
+        print(f"pareto frontier: {len(report.frontier)} points "
+              f"(rerun with --pareto to print)")
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--uops", type=int, default=8000,
@@ -271,6 +326,28 @@ def main(argv=None) -> None:
     validate_parser.add_argument(
         "--report", default=None, metavar="PATH",
         help="write the structured drift report as JSON here")
+    explore_parser = add_command(
+        "explore", cmd_explore, "search a declarative design space",
+        ("space", "path to a SpaceSpec JSON file"))
+    explore_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="append-only JSONL result store; rerunning with the same "
+             "store resumes instead of re-evaluating")
+    explore_parser.add_argument(
+        "--chunk", type=int, default=64, metavar="N",
+        help="points per evaluation chunk (default 64)")
+    explore_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="stop after the first N points of the expansion")
+    explore_parser.add_argument(
+        "--apps", type=int, default=None, metavar="N",
+        help="applications per suite (default: all)")
+    explore_parser.add_argument(
+        "--grid", type=int, default=8, metavar="N",
+        help="thermal grid resolution (default 8)")
+    explore_parser.add_argument(
+        "--pareto", action="store_true",
+        help="print the frequency/energy/peak-temperature Pareto frontier")
 
     raw = list(argv if argv is not None else sys.argv[1:])
     # Convenience spellings: "figure6" == "figure 6", "table11" == "table 11".

@@ -112,9 +112,16 @@ _REFERENCE_TABLES = {"table6": TABLE6_M3D, "table8": TABLE8_HETERO}
 
 
 def _frequency_signature(point: DesignPoint, use_paper_values: bool) -> tuple:
-    """The fields a point's frequency actually depends on."""
+    """The fields a point's frequency *numerically* depends on.
+
+    The point's name is deliberately absent: the derivation's ``design``
+    label is cosmetic, and keying the memo on it would defeat sharing
+    across generated points (a ``repro explore`` space stamps thousands
+    of identical-physics points with unique names; each ``plan_core``
+    pass costs ~0.5 s).  :func:`derive_frequency` relabels the cached
+    derivation when the names differ.
+    """
     return (
-        point.display_name,
         point.stack,
         point.top_layer_slowdown,
         point.top_layer_flavor,
@@ -144,6 +151,10 @@ def derive_frequency(point: PointLike,
     if cached is None:
         cached = _derive_frequency_uncached(point, upv)
         _FREQUENCY_MEMO[signature] = cached
+    if cached.design != point.display_name:
+        # Same physics, different point name: reuse the derivation,
+        # relabel the cosmetic ``design`` field.
+        return dataclasses.replace(cached, design=point.display_name)
     return cached
 
 

@@ -1,0 +1,313 @@
+"""Generator-driven design-point spaces (``repro explore``).
+
+A :class:`SpaceSpec` declares a *region* of the DesignPoint space instead
+of a hand-enumerated list: a set of fixed ``base`` fields, per-field
+``axes`` of candidate values, optional ``constraints`` (boolean
+expressions over the field names), and a sampling ``kind``:
+
+* ``"cartesian"`` — the full cross product of the axes, in deterministic
+  (sorted-field, declared-value) order;
+* ``"random"`` — ``samples`` points drawn uniformly per axis from a
+  seeded :class:`random.Random`, so the same spec always expands to the
+  same sequence.
+
+Expansion is **lazy**: :meth:`SpaceSpec.points` is a generator stamping
+one :class:`~repro.design.point.DesignPoint` at a time, so a
+million-point space costs memory proportional to one point, not the
+space.  Points are named ``<space>-<index>`` with a deterministic index,
+but identity for caching/resume purposes is *content*, not name — see
+:func:`repro.explore.store.point_key`.
+
+Combinations that violate DesignPoint's own invariants (e.g. a 2D stack
+with a derived frequency policy) are skipped by default (``on_invalid:
+"skip"``); constraints let a spec carve them out explicitly.  Specs are
+plain JSON (:func:`load_space`) or Python, and round-trip through
+:meth:`to_dict` / :meth:`from_dict`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+import random
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.design.point import DesignPoint
+
+#: Valid space kinds.
+SPACE_KINDS: Tuple[str, ...] = ("cartesian", "random")
+
+#: Valid invalid-combination policies.
+ON_INVALID: Tuple[str, ...] = ("skip", "error")
+
+#: Cap on rejected draws per accepted sample before a random expansion
+#: gives up (constraints that eliminate nearly everything would
+#: otherwise spin forever on a seeded stream).
+MAX_REJECTIONS_PER_SAMPLE: int = 1000
+
+#: DesignPoint fields a space may set (everything but the identity
+#: fields, which the expansion owns).
+_POINT_FIELDS = tuple(
+    field.name for field in dataclasses.fields(DesignPoint)
+    if field.name not in ("name", "description", "group")
+)
+
+
+class SpaceError(ValueError):
+    """A malformed :class:`SpaceSpec`, or an expansion that cannot make
+    progress (e.g. constraints rejecting every random draw)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SpaceSpec:
+    """One declarative region of the design-point space.
+
+    Attributes
+    ----------
+    name:
+        Stamped on generated points (``<name>-<index>``) and used as the
+        default result-store label.
+    kind:
+        ``"cartesian"`` or ``"random"``.
+    base:
+        Fixed DesignPoint fields shared by every point.
+    axes:
+        ``field -> candidate values``.  Cartesian spaces cross every
+        axis; random spaces draw one candidate per axis per sample.
+    samples, seed:
+        Random spaces only: how many points to draw, and the RNG seed
+        (expansion is a pure function of the spec).
+    constraints:
+        Boolean expressions over the *full* candidate field mapping
+        (axes + base + DesignPoint defaults), e.g.
+        ``"not (stack == '2D' and frequency_policy == 'derived')"`` or
+        ``"top_layer_slowdown <= 0.5 or partition == 'asymmetric'"``.
+        A point must satisfy every constraint.  Evaluated with no
+        builtins — field names are the only names in scope.
+    on_invalid:
+        What to do when a surviving combination still violates
+        DesignPoint's invariants: ``"skip"`` (default) or ``"error"``.
+    """
+
+    name: str
+    kind: str = "cartesian"
+    base: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    axes: Mapping[str, Tuple[Any, ...]] = dataclasses.field(
+        default_factory=dict)
+    samples: int = 0
+    seed: int = 0
+    constraints: Tuple[str, ...] = ()
+    on_invalid: str = "skip"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SpaceError("a space needs a non-empty name")
+        if self.kind not in SPACE_KINDS:
+            raise SpaceError(
+                f"{self.name}: kind must be one of {SPACE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.on_invalid not in ON_INVALID:
+            raise SpaceError(
+                f"{self.name}: on_invalid must be one of {ON_INVALID}, "
+                f"got {self.on_invalid!r}"
+            )
+        # Freeze the mappings/sequences so the spec is hashable data.
+        object.__setattr__(self, "base", dict(self.base))
+        axes: Dict[str, Tuple[Any, ...]] = {}
+        for field, values in dict(self.axes).items():
+            if isinstance(values, (str, bytes)) \
+                    or not isinstance(values, (list, tuple)):
+                raise SpaceError(
+                    f"{self.name}: axis {field!r} must list candidate "
+                    f"values, got {type(values).__name__}"
+                )
+            if not values:
+                raise SpaceError(f"{self.name}: axis {field!r} is empty")
+            axes[field] = tuple(values)
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "constraints", tuple(self.constraints))
+        for field in list(self.base) + list(axes):
+            if field not in _POINT_FIELDS:
+                raise SpaceError(
+                    f"{self.name}: {field!r} is not a sweepable "
+                    f"DesignPoint field; choose from {sorted(_POINT_FIELDS)}"
+                )
+        overlap = sorted(set(self.base) & set(axes))
+        if overlap:
+            raise SpaceError(
+                f"{self.name}: field(s) {overlap} appear in both base "
+                f"and axes"
+            )
+        if self.kind == "random":
+            if not isinstance(self.samples, int) or self.samples <= 0:
+                raise SpaceError(
+                    f"{self.name}: a random space needs samples > 0"
+                )
+            if not axes:
+                raise SpaceError(
+                    f"{self.name}: a random space needs at least one axis"
+                )
+        elif self.samples:
+            raise SpaceError(
+                f"{self.name}: samples only applies to random spaces"
+            )
+        for expr in self.constraints:
+            if not isinstance(expr, str) or not expr.strip():
+                raise SpaceError(
+                    f"{self.name}: constraints must be non-empty "
+                    f"expressions, got {expr!r}"
+                )
+            try:
+                compile(expr, f"<constraint {expr!r}>", "eval")
+            except SyntaxError as exc:
+                raise SpaceError(
+                    f"{self.name}: constraint {expr!r} does not parse: {exc}"
+                ) from None
+
+    # -- expansion ------------------------------------------------------------
+
+    def cartesian_size(self) -> Optional[int]:
+        """Upper bound on a cartesian expansion (``None`` for random —
+        random spaces are exactly ``samples`` long)."""
+        if self.kind == "random":
+            return None
+        size = 1
+        for values in self.axes.values():
+            size *= len(values)
+        return size
+
+    def _satisfies(self, fields: Mapping[str, Any]) -> bool:
+        scope = dict(fields)
+        for expr in self.constraints:
+            try:
+                if not eval(expr, {"__builtins__": {}}, scope):  # noqa: S307
+                    return False
+            except Exception as exc:
+                raise SpaceError(
+                    f"{self.name}: constraint {expr!r} failed on "
+                    f"{scope}: {exc}"
+                ) from exc
+        return True
+
+    def _candidates(self) -> Iterator[Dict[str, Any]]:
+        """Raw field mappings, before constraints and validity."""
+        defaults = {
+            field.name: field.default
+            for field in dataclasses.fields(DesignPoint)
+            if field.name in _POINT_FIELDS
+        }
+        if self.kind == "cartesian":
+            fields = sorted(self.axes)
+            pools = [self.axes[field] for field in fields]
+            for combo in itertools.product(*pools):
+                candidate = dict(defaults)
+                candidate.update(self.base)
+                candidate.update(zip(fields, combo))
+                yield candidate
+        else:
+            rng = random.Random(self.seed)
+            fields = sorted(self.axes)
+            while True:
+                candidate = dict(defaults)
+                candidate.update(self.base)
+                for field in fields:
+                    candidate[field] = rng.choice(self.axes[field])
+                yield candidate
+
+    def points(self, limit: Optional[int] = None) -> Iterator[DesignPoint]:
+        """Lazily stamp the space's points, in deterministic order.
+
+        ``limit`` truncates the expansion (handy for smoke tests); the
+        first ``limit`` points of a space are always the same points.
+        """
+        target = self.samples if self.kind == "random" else None
+        accepted = 0
+        rejected_since_accept = 0
+        for candidate in self._candidates():
+            if target is not None and accepted >= target:
+                return
+            if limit is not None and accepted >= limit:
+                return
+            ok = self._satisfies(candidate)
+            point: Optional[DesignPoint] = None
+            if ok:
+                try:
+                    point = DesignPoint(
+                        name=f"{self.name}-{accepted}",
+                        group="explore",
+                        **candidate,
+                    )
+                except ValueError as exc:
+                    if self.on_invalid == "error":
+                        raise SpaceError(
+                            f"{self.name}: invalid combination "
+                            f"{candidate}: {exc}"
+                        ) from exc
+            if point is None:
+                rejected_since_accept += 1
+                if self.kind == "random" \
+                        and rejected_since_accept > MAX_REJECTIONS_PER_SAMPLE:
+                    raise SpaceError(
+                        f"{self.name}: constraints rejected "
+                        f"{rejected_since_accept} consecutive draws "
+                        f"(accepted {accepted}/{target}); the constrained "
+                        f"region is empty or vanishingly small"
+                    )
+                continue
+            rejected_since_accept = 0
+            accepted += 1
+            yield point
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready mapping (round-trips through :meth:`from_dict`)."""
+        data = dataclasses.asdict(self)
+        data["axes"] = {k: list(v) for k, v in self.axes.items()}
+        data["constraints"] = list(self.constraints)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpaceSpec":
+        """Build a spec from a JSON-style mapping; unknown keys error."""
+        if not isinstance(data, Mapping):
+            raise SpaceError(
+                f"a space spec must be an object, got {type(data).__name__}"
+            )
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpaceError(
+                f"unknown space field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+
+def load_space(path: Union[str, os.PathLike]) -> SpaceSpec:
+    """Load a space spec from a JSON file.
+
+    Accepts the spec object itself or ``{"space": {...}}``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SpaceError(f"{path}: not valid JSON: {exc}") from exc
+    if isinstance(data, Mapping) and "space" in data:
+        data = data["space"]
+    return SpaceSpec.from_dict(data)
+
+
+__all__ = [
+    "MAX_REJECTIONS_PER_SAMPLE",
+    "ON_INVALID",
+    "SPACE_KINDS",
+    "SpaceError",
+    "SpaceSpec",
+    "load_space",
+]

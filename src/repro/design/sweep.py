@@ -65,6 +65,10 @@ class PointEvaluation:
         return self._avg(self.energy)
 
     @property
+    def avg_peak_c(self) -> float:
+        return self._avg(self.peak_c)
+
+    @property
     def max_peak_c(self) -> float:
         return max(self.peak_c) if self.peak_c else 0.0
 
@@ -95,9 +99,13 @@ class PointEvaluation:
             print(app.ljust(15)
                   + f"{self.cpi[i]:10.3f}{self.speedup[i]:10.3f}"
                   + f"{self.energy[i]:10.3f}{self.peak_c[i]:10.2f}")
+        # Two summary rows: averages are averages, and the headline
+        # temperature is explicitly the maximum (printing max_peak_c in
+        # an "Average" row reads as an average temperature).
         print("Average".ljust(15)
               + f"{self.avg_cpi:10.3f}{self.avg_speedup:10.3f}"
-              + f"{self.avg_energy:10.3f}{self.max_peak_c:10.2f}")
+              + f"{self.avg_energy:10.3f}{self.avg_peak_c:10.2f}")
+        print("Max peak".ljust(15) + " " * 30 + f"{self.max_peak_c:10.2f}")
 
 
 def _effective_cpi(result, num_cores: int) -> float:

@@ -82,9 +82,9 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
-    #: Disk writes that failed (full disk, read-only directory, ...);
-    #: each one degraded that store to memory-only instead of aborting
-    #: the sweep.
+    #: Disk writes that failed (full disk, read-only directory, an
+    #: unpicklable result, ...); each one degraded that store to
+    #: memory-only instead of aborting the sweep.
     disk_put_failures: int = 0
 
     @property
@@ -109,9 +109,14 @@ class ResultCache:
 
     def get(self, key: str) -> Tuple[bool, Any]:
         """Return ``(hit, value)``; consults memory first, then disk."""
-        if key in self._memory:
+        memory = self._memory
+        if key in memory:
             self.stats.memory_hits += 1
-            return True, self._memory[key]
+            # Refresh recency: a hit entry moves to the back of the
+            # eviction queue (dicts preserve insertion order).
+            value = memory.pop(key)
+            memory[key] = value
+            return True, value
         if self.cache_dir is not None:
             path = self._path(key)
             if path.exists():
@@ -131,8 +136,10 @@ class ResultCache:
     def put(self, key: str, value: Any) -> None:
         """Store a result in memory and (if configured) on disk.
 
-        Disk failures (full disk, read-only cache directory, ...) must
-        not kill an otherwise-healthy sweep: the store degrades to
+        Disk failures must not kill an otherwise-healthy sweep — neither
+        I/O failures (full disk, read-only cache directory, ...) nor
+        serialization failures (a result holding a lambda, a generator,
+        an open handle, ...).  Either way the store degrades to
         memory-only with a one-time warning, and every failed write is
         counted in ``stats.disk_put_failures``.
         """
@@ -141,7 +148,8 @@ class ResultCache:
         if self.cache_dir is not None:
             try:
                 self._put_disk(key, value)
-            except OSError as exc:
+            except (OSError, pickle.PickleError, TypeError,
+                    AttributeError) as exc:
                 self.stats.disk_put_failures += 1
                 if not self._disk_warned:
                     self._disk_warned = True
@@ -177,8 +185,14 @@ class ResultCache:
 
     def _remember(self, key: str, value: Any) -> None:
         memory = self._memory
-        if len(memory) >= self.max_memory_entries:
-            # Evict oldest insertions (dicts preserve insertion order).
+        if key in memory:
+            # Re-store of a live key: refresh its recency, no eviction.
+            del memory[key]
+        elif len(memory) >= self.max_memory_entries:
+            # Evict the least recently used quarter: both ``get`` hits
+            # and re-stores move keys to the back of the dict, so the
+            # front really is the coldest end (true LRU — insertion
+            # order alone would evict the hottest keys first).
             for stale in list(memory)[: self.max_memory_entries // 4]:
                 del memory[stale]
         memory[key] = value

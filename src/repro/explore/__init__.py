@@ -1,0 +1,91 @@
+"""repro.explore — design-space search at generator scale.
+
+The layer that turns the declarative design space (:mod:`repro.design`)
+plus the batched kernel (:mod:`repro.uarch.kernel`) into *search*:
+
+* :class:`~repro.design.space.SpaceSpec` — lazy cartesian / seeded-random
+  / constraint-filtered point generators (declared in JSON or Python);
+* :class:`~repro.explore.store.ResultStore` — an append-only JSONL
+  record store keyed like the engine's ResultCache (content key + code
+  fingerprint per line), giving crash-safe resume;
+* :func:`~repro.explore.runner.explore` — chunked, engine-routed
+  execution of a space with dedup, resume and progress telemetry;
+* :func:`~repro.explore.frontier.pareto_frontier` — the non-dominated
+  frequency / energy / peak-temperature set, deterministically ordered.
+
+``repro explore <space.json>`` is the CLI entry point; the committed
+``goldens/explore.json`` pins the frontier of :data:`GOLDEN_SPACE`.
+"""
+
+from repro.design.space import (
+    SPACE_KINDS,
+    SpaceError,
+    SpaceSpec,
+    load_space,
+)
+from repro.explore.frontier import (
+    OBJECTIVES,
+    dominates,
+    pareto_frontier,
+    print_frontier,
+)
+from repro.explore.runner import (
+    DEFAULT_CHUNK_SIZE,
+    ExploreReport,
+    explore,
+)
+from repro.explore.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    evaluation_record,
+    point_key,
+)
+
+#: Applications per suite the golden-space evaluation is limited to
+#: (the frontier artifact must rebuild in seconds, not minutes).
+GOLDEN_SPACE_APPS: int = 2
+
+#: The seeded 500-point random space whose Pareto frontier is pinned as
+#: the ``explore`` golden artifact.  Axes mix frequency-relevant fields
+#: (stack, slowdown, partition, policy — 32 distinct derivations, all
+#: memoized) with cheap core-organisation fields (vdd, issue width), so
+#: the space is wide (~768 combinations) while the rebuild stays fast.
+GOLDEN_SPACE = SpaceSpec(
+    name="g500",
+    kind="random",
+    samples=500,
+    seed=20260808,
+    description="seeded 500-point random space pinned by goldens/explore.json",
+    axes={
+        "stack": ("M3D", "TSV3D"),
+        "top_layer_slowdown": (0.0, 0.17, 0.3, 0.5),
+        "partition": ("symmetric", "asymmetric"),
+        "frequency_policy": ("base", "derived"),
+        "vdd": (0.85, 0.95, 1.0, 1.05),
+        "issue_width": (4, 6, 8),
+    },
+    constraints=(
+        # Undervolted cores cannot sustain the widest issue stage.
+        "vdd >= 0.95 or issue_width <= 6",
+    ),
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "GOLDEN_SPACE",
+    "GOLDEN_SPACE_APPS",
+    "OBJECTIVES",
+    "SPACE_KINDS",
+    "STORE_SCHEMA_VERSION",
+    "ExploreReport",
+    "ResultStore",
+    "SpaceError",
+    "SpaceSpec",
+    "dominates",
+    "evaluation_record",
+    "explore",
+    "load_space",
+    "pareto_frontier",
+    "point_key",
+    "print_frontier",
+]

@@ -1,0 +1,96 @@
+"""Pareto-frontier extraction over explored design points.
+
+The paper's design space trades three headline quantities against each
+other: **frequency** (higher is better), **energy** normalised to the 2D
+base (lower is better) and **peak temperature** (lower is better — the
+thermal wall is M3D's whole motivation).  A point *dominates* another
+when it is at least as good on all three and strictly better on at least
+one; the frontier is the set no point dominates.
+
+Input records are store lines (:mod:`repro.explore.store`); the frontier
+is returned as compact, JSON-ready entries in a deterministic order
+(descending frequency, then ascending energy, temperature and name), so
+two runs over the same space — including a resumed run — produce
+byte-identical frontiers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+#: The objectives, as (summary key, direction) pairs; +1 maximises,
+#: -1 minimises.
+OBJECTIVES: Tuple[Tuple[str, int], ...] = (
+    ("ghz", +1),
+    ("energy", -1),
+    ("peak_c", -1),
+)
+
+
+def _goodness(record: Dict[str, Any]) -> Tuple[float, ...]:
+    """The record's objectives, sign-flipped so larger is always better."""
+    summary = record["summary"]
+    return tuple(
+        direction * float(summary[key]) for key, direction in OBJECTIVES
+    )
+
+
+def dominates(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """True when record ``a`` Pareto-dominates record ``b``."""
+    ga, gb = _goodness(a), _goodness(b)
+    return all(x >= y for x, y in zip(ga, gb)) and ga != gb
+
+
+def frontier_entry(record: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact frontier view of one store record."""
+    summary = record["summary"]
+    return {
+        "name": record["name"],
+        "key": record["key"],
+        "spec": record["point"],
+        "ghz": summary["ghz"],
+        "cpi": summary["cpi"],
+        "speedup": summary["speedup"],
+        "energy": summary["energy"],
+        "peak_c": summary["peak_c"],
+    }
+
+
+def pareto_frontier(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The non-dominated subset of ``records`` as frontier entries.
+
+    Deterministic: output order is (frequency desc, energy asc, peak
+    temperature asc, name asc), independent of input order.  O(n^2) in
+    the candidate count — frontiers are extracted from summaries, not
+    simulations, so even a million-point store is a memory-bound pass.
+    """
+    pool = list(records)
+    out: List[Dict[str, Any]] = []
+    for candidate in pool:
+        if any(dominates(other, candidate) for other in pool):
+            continue
+        out.append(frontier_entry(candidate))
+    out.sort(key=lambda e: (-e["ghz"], e["energy"], e["peak_c"], e["name"]))
+    return out
+
+
+def print_frontier(entries: List[Dict[str, Any]]) -> None:
+    """Human-readable frontier table (the ``--pareto`` CLI output)."""
+    print(f"\n=== Pareto frontier ({len(entries)} points: "
+          f"max GHz, min energy, min peak C) ===")
+    print("point".ljust(18) + f"{'GHz':>8}{'cpi':>10}{'speedup':>10}"
+          f"{'energy':>10}{'max C':>10}")
+    for entry in entries:
+        print(entry["name"][:17].ljust(18)
+              + f"{entry['ghz']:8.2f}{entry['cpi']:10.3f}"
+              + f"{entry['speedup']:10.3f}{entry['energy']:10.3f}"
+              + f"{entry['peak_c']:10.2f}")
+
+
+__all__ = [
+    "OBJECTIVES",
+    "dominates",
+    "frontier_entry",
+    "pareto_frontier",
+    "print_frontier",
+]

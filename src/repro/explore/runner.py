@@ -1,0 +1,178 @@
+"""Sharded, resumable execution of a :class:`SpaceSpec`.
+
+The runner walks a space's lazy point generator in **chunks**, routes
+each chunk through :func:`repro.design.sweep.evaluate_points` (so the
+batched kernel, the engine result cache and ``--jobs`` fan-out apply
+exactly as for the paper figures), and streams one record per evaluated
+point into a :class:`~repro.explore.store.ResultStore`.
+
+Resume is the store's content keys: a point whose key is already on
+disk is never re-evaluated — a killed million-point sweep restarts from
+the first unevaluated point, not from zero.  Duplicate draws inside one
+space (random sampling repeats itself) collapse onto one key and one
+evaluation the same way.
+
+At the end of a run the runner extracts the Pareto frontier of the
+space's records (:mod:`repro.explore.frontier`) and records a progress
+summary for the run manifest (:func:`repro.obs.record_explore`,
+manifest schema v5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.design.space import SpaceSpec
+from repro.explore.frontier import pareto_frontier
+from repro.explore.store import ResultStore, evaluation_record, point_key
+
+#: Default points per evaluation chunk.  One chunk is one
+#: ``evaluate_points`` call — i.e. one batched-kernel group per
+#: (suite profile) — so the chunk size bounds both peak memory and the
+#: work lost when a run dies mid-chunk.
+DEFAULT_CHUNK_SIZE: int = 64
+
+ProgressFn = Callable[[Dict[str, Any]], None]
+
+
+@dataclasses.dataclass
+class ExploreReport:
+    """What one ``repro explore`` run did."""
+
+    space: SpaceSpec
+    store_path: Optional[Path]
+    chunk_size: int
+    params: Dict[str, Any]
+    total_points: int  # points the space expanded to (unique + dups)
+    evaluated: int  # simulated fresh this run
+    skipped: int  # resumed from the store's prior lines
+    duplicates: int  # same-key repeats within this space
+    chunks: int  # chunks actually simulated
+    seconds: float
+    frontier: List[Dict[str, Any]]
+
+    @property
+    def unique_points(self) -> int:
+        return self.total_points - self.duplicates
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The manifest/CLI summary view."""
+        return {
+            "space": self.space.name,
+            "kind": self.space.kind,
+            "store": str(self.store_path) if self.store_path else None,
+            "chunk_size": self.chunk_size,
+            "total_points": self.total_points,
+            "unique_points": self.unique_points,
+            "evaluated": self.evaluated,
+            "skipped": self.skipped,
+            "duplicates": self.duplicates,
+            "chunks": self.chunks,
+            "frontier_size": len(self.frontier),
+            "seconds": self.seconds,
+        }
+
+
+def explore(space: SpaceSpec,
+            store: Optional[ResultStore] = None,
+            *,
+            store_path=None,
+            chunk_size: int = DEFAULT_CHUNK_SIZE,
+            uops: int = 2000,
+            multicore_uops: Optional[int] = None,
+            seed: int = 1234,
+            grid: int = 8,
+            apps: Optional[int] = None,
+            engine=None,
+            limit: Optional[int] = None,
+            progress: Optional[ProgressFn] = None) -> ExploreReport:
+    """Evaluate a space end-to-end; resumable, sharded, deduplicated.
+
+    Pass either an open ``store`` or a ``store_path`` (``None`` for both
+    runs fully in memory).  ``limit`` truncates the expansion;
+    ``progress`` is called once per simulated chunk with a summary dict.
+    Evaluation parameters mirror :func:`repro.design.sweep.evaluate_points`.
+    """
+    if store is not None and store_path is not None:
+        raise ValueError("pass either store or store_path, not both")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    store = store if store is not None else ResultStore(store_path)
+    params = {"uops": uops, "seed": seed, "grid": grid, "apps": apps}
+
+    start = time.perf_counter()
+    total = evaluated = skipped = duplicates = chunks = 0
+    space_keys: Dict[str, None] = {}  # ordered unique keys of this space
+    pending: List[tuple] = []  # (point, key) awaiting evaluation
+
+    def flush() -> None:
+        nonlocal evaluated, chunks
+        if not pending:
+            return
+        from repro.design.sweep import evaluate_points
+
+        points = [point for point, _ in pending]
+        evaluations = evaluate_points(
+            points, uops=uops, multicore_uops=multicore_uops, seed=seed,
+            grid=grid, engine=engine, apps=apps,
+        )
+        for (point, key), evaluation in zip(pending, evaluations):
+            store.append(evaluation_record(key, point, evaluation, params))
+        evaluated += len(pending)
+        chunks += 1
+        pending.clear()
+        if progress is not None:
+            progress({
+                "chunk": chunks,
+                "total_points": total,
+                "evaluated": evaluated,
+                "skipped": skipped,
+                "duplicates": duplicates,
+            })
+
+    for point in space.points(limit=limit):
+        total += 1
+        key = point_key(point, **params)
+        if key in space_keys:
+            duplicates += 1
+            continue
+        space_keys[key] = None
+        if key in store:
+            skipped += 1
+            continue
+        pending.append((point, key))
+        if len(pending) >= chunk_size:
+            flush()
+    flush()
+
+    frontier = pareto_frontier(
+        store.get(key) for key in space_keys
+    )
+    report = ExploreReport(
+        space=space,
+        store_path=store.path,
+        chunk_size=chunk_size,
+        params=params,
+        total_points=total,
+        evaluated=evaluated,
+        skipped=skipped,
+        duplicates=duplicates,
+        chunks=chunks,
+        seconds=time.perf_counter() - start,
+        frontier=frontier,
+    )
+
+    from repro.obs import record_explore
+
+    record_explore(report.as_dict())
+    return report
+
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ExploreReport",
+    "explore",
+]

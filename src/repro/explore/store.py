@@ -1,0 +1,157 @@
+"""The append-only JSONL result store behind ``repro explore``.
+
+One line per evaluated design point, written (and flushed) the moment
+the evaluation lands — so a killed run loses at most the point in
+flight.  Each record carries the same identity discipline as the
+:class:`~repro.engine.cache.ResultCache`: a **content key** over every
+input that determines the result (the point's physical fields plus the
+evaluation sizes) that already embeds the **code fingerprint**, and the
+fingerprint again as an explicit field for human inspection.  A
+restarted ``repro explore`` replays the store, skips every key it
+already holds, and continues — after a *code* change the keys no longer
+match, so stale results are never resumed over (exactly the CACTI-style
+persistent-record-store discipline of the Accelergy plug-in).
+
+Crash safety on the read side: a truncated final line (the write that
+died mid-crash) or any unparseable line is ignored, not fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.engine.cache import code_fingerprint, make_key
+
+#: Store record schema; bump when the line shape changes.
+STORE_SCHEMA_VERSION = "repro-explore-v1"
+
+PathLike = Union[str, os.PathLike]
+
+
+def point_key(point, *, uops: int, seed: int, grid: int,
+              apps: Optional[int]) -> str:
+    """The content key identifying one evaluated point.
+
+    Keyed on the point's *physical* fields — name/description/group are
+    identity cosmetics, so two identically-configured points (e.g.
+    duplicate draws of a random space) share one key and one
+    evaluation — plus every evaluation size, with the code fingerprint
+    folded in by :func:`~repro.engine.cache.make_key`.
+    """
+    fields = point.to_dict()
+    for cosmetic in ("name", "description", "group"):
+        fields.pop(cosmetic, None)
+    return make_key("explore:point", point=fields, uops=uops, seed=seed,
+                    grid=grid, apps=apps)
+
+
+def evaluation_record(key: str, point, evaluation,
+                      params: Dict[str, Any]) -> Dict[str, Any]:
+    """One JSONL line's payload for an evaluated point."""
+    return {
+        "schema": STORE_SCHEMA_VERSION,
+        "key": key,
+        "fingerprint": code_fingerprint(),
+        "name": point.name,
+        "point": point.to_dict(),
+        "params": dict(params),
+        "ghz": evaluation.ghz,
+        "apps": list(evaluation.apps),
+        "cpi": list(evaluation.cpi),
+        "speedup": list(evaluation.speedup),
+        "energy": list(evaluation.energy),
+        "peak_c": list(evaluation.peak_c),
+        "summary": evaluation.summary_row(),
+    }
+
+
+class ResultStore:
+    """Append-only JSONL store, one record per evaluated point.
+
+    ``path=None`` keeps the store purely in memory (used by one-shot
+    runs — golden builds, tests — that need the dedup/resume semantics
+    but no persistence).
+    """
+
+    def __init__(self, path: Optional[PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._records: Dict[str, Dict[str, Any]] = {}
+        self._lines = 0
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._replay()
+
+    # -- read side ------------------------------------------------------------
+
+    def _replay(self) -> None:
+        """Load completed records from disk, tolerating a torn tail."""
+        assert self.path is not None
+        if not self.path.exists():
+            return
+        current = code_fingerprint()
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                self._lines += 1
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn write from a crashed run; the key never
+                    # registered, so the point is simply re-evaluated.
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                key = record.get("key")
+                if not isinstance(key, str):
+                    continue
+                if record.get("fingerprint") != current:
+                    # Stale code: the key would not match any current
+                    # point_key either, but skip explicitly.
+                    continue
+                self._records[key] = record
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return self._records.get(key)
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Completed records, in append order."""
+        return iter(self._records.values())
+
+    def line_count(self) -> int:
+        """Physical lines seen on disk plus lines appended this run
+        (diagnostics: equals ``len(self)`` on a clean, dedup'd store)."""
+        return self._lines
+
+    # -- write side -----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Register (and, when disk-backed, durably append) one record."""
+        key = record["key"]
+        self._records[key] = record
+        if self.path is not None:
+            line = json.dumps(record, sort_keys=True,
+                              separators=(",", ":")) + "\n"
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._lines += 1
+
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "evaluation_record",
+    "point_key",
+]

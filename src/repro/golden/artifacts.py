@@ -91,6 +91,36 @@ def _build_points(params: BuildParams) -> dict:
     return {"points": design_space_snapshot()}
 
 
+def _build_explore(params: BuildParams) -> dict:
+    from repro.explore import GOLDEN_SPACE, GOLDEN_SPACE_APPS, explore
+
+    report = explore(
+        GOLDEN_SPACE,
+        uops=params.uops,
+        multicore_uops=params.multicore_uops,
+        seed=params.seed,
+        grid=params.grid,
+        apps=GOLDEN_SPACE_APPS,
+    )
+    # The store content keys embed the live code fingerprint, so they
+    # change on every source edit; the golden pins the frontier's
+    # physics, not its cache identity.
+    frontier = [
+        {k: v for k, v in entry.items() if k != "key"}
+        for entry in report.frontier
+    ]
+    return {
+        "spec": GOLDEN_SPACE.to_dict(),
+        "apps": GOLDEN_SPACE_APPS,
+        "points": {
+            "total": report.total_points,
+            "unique": report.unique_points,
+            "duplicates": report.duplicates,
+        },
+        "frontier": frontier,
+    }
+
+
 def _table_builder(name: str) -> Callable[[BuildParams], dict]:
     def build(params: BuildParams) -> dict:
         from repro.experiments.tables import TABLE_PAYLOADS
@@ -134,6 +164,9 @@ def _registry() -> "OrderedDict[str, Artifact]":
     )
     artifacts["traces"] = Artifact(
         name="traces", kind="trace", build=_build_traces, static=True,
+    )
+    artifacts["explore"] = Artifact(
+        name="explore", kind="explore", build=_build_explore, static=False,
     )
     return artifacts
 

@@ -19,9 +19,12 @@ from repro.obs.manifest import (
     ManifestError,
     build_manifest,
     check_manifest,
+    clear_explore,
     clear_validation,
     metrics_path,
+    record_explore,
     record_validation,
+    recorded_explore,
     recorded_validation,
     validate_manifest,
     write_manifest,
@@ -48,10 +51,13 @@ __all__ = [
     "TimerSpan",
     "build_manifest",
     "check_manifest",
+    "clear_explore",
     "clear_validation",
     "drain_spans",
     "metrics_path",
+    "record_explore",
     "record_validation",
+    "recorded_explore",
     "recorded_spans",
     "recorded_validation",
     "timer",

@@ -16,7 +16,10 @@ Every entry point (``python -m repro``, the experiment runner,
 * the named :mod:`repro.obs.timer` spans completed during the run;
 * the golden-validation drift report (``repro validate``), when one was
   recorded this process via :func:`record_validation` — the optional
-  ``validation`` section added in schema v3.
+  ``validation`` section added in schema v3;
+* the design-space exploration summary (``repro explore``), when one was
+  recorded this process via :func:`record_explore` — the optional
+  ``explore`` section added in schema v5.
 
 :func:`validate_manifest` is a dependency-free structural validator
 (``python -m repro.obs <manifest.json>`` runs it from the command line;
@@ -38,7 +41,10 @@ from repro.obs.timer import TimerSpan, recorded_spans
 #: v4 added kernel-path and shared-memory telemetry: per-batch ``path``
 #: / ``shm`` fields and the vectorized/scalar/mixed/shm group counts in
 #: the kernel summary.
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v4"
+#: v5 added the optional ``explore`` section (design-space exploration
+#: summary: space identity, point/evaluation/resume counts, frontier
+#: size and wall-clock).
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v5"
 
 
 class ManifestError(ValueError):
@@ -68,6 +74,31 @@ def clear_validation() -> None:
     """Forget the recorded drift report (test isolation)."""
     global _VALIDATION_REPORT
     _VALIDATION_REPORT = None
+
+
+# -- explore-summary capture --------------------------------------------------
+
+#: The exploration summary recorded by the last ``repro explore`` run in
+#: this process, if any (same capture pattern as the validation report:
+#: repro.explore records here so this layer never imports repro.explore).
+_EXPLORE_SUMMARY: Optional[Dict[str, Any]] = None
+
+
+def record_explore(summary: Dict[str, Any]) -> None:
+    """Record a design-space exploration summary for the next manifest."""
+    global _EXPLORE_SUMMARY
+    _EXPLORE_SUMMARY = summary
+
+
+def recorded_explore() -> Optional[Dict[str, Any]]:
+    """The exploration summary recorded this process (``None`` if none)."""
+    return _EXPLORE_SUMMARY
+
+
+def clear_explore() -> None:
+    """Forget the recorded exploration summary (test isolation)."""
+    global _EXPLORE_SUMMARY
+    _EXPLORE_SUMMARY = None
 
 
 # -- construction -------------------------------------------------------------
@@ -138,6 +169,9 @@ def build_manifest(command: str, engine: Optional[object] = None,
     validation = recorded_validation()
     if validation is not None:
         manifest["validation"] = validation
+    explore = recorded_explore()
+    if explore is not None:
+        manifest["explore"] = explore
     return manifest
 
 
@@ -228,6 +262,20 @@ _VALIDATION_ARTIFACT_FIELDS = {
     "drifts": list,
 }
 _DRIFT_FIELDS = {"path": str, "kind": str, "message": str}
+_EXPLORE_FIELDS = {
+    "space": str,
+    "kind": str,
+    "store": (str, type(None)),
+    "chunk_size": int,
+    "total_points": int,
+    "unique_points": int,
+    "evaluated": int,
+    "skipped": int,
+    "duplicates": int,
+    "chunks": int,
+    "frontier_size": int,
+    "seconds": (int, float),
+}
 
 
 def _typecheck(value: Any, expected, where: str, problems: List[str]) -> None:
@@ -346,6 +394,16 @@ def validate_manifest(manifest: Any) -> List[str]:
                         for j, drift in enumerate(entry["drifts"]):
                             _check_record(drift, _DRIFT_FIELDS,
                                           f"{where}.drifts[{j}]", problems)
+    if "explore" in manifest:
+        explore = manifest["explore"]
+        _check_record(explore, _EXPLORE_FIELDS, "explore", problems)
+        if isinstance(explore, dict):
+            for name in ("total_points", "unique_points", "evaluated",
+                         "skipped", "duplicates", "chunks", "frontier_size"):
+                value = explore.get(name)
+                if isinstance(value, int) and not isinstance(value, bool) \
+                        and value < 0:
+                    problems.append(f"explore.{name}: negative count {value}")
     return problems
 
 

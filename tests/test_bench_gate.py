@@ -1,0 +1,64 @@
+"""The cold-runner perf gate stays anchored to a committed BENCH record.
+
+``scripts/bench.py`` fails full-size runs whose cold runner pass exceeds
+``RUNNER_GATE_SECONDS``.  The gate is only meaningful when it tracks the
+measured trajectory: it must clear the most recent committed full record
+(otherwise every healthy run fails) without drifting far above it
+(otherwise a real regression slips through).  Raising the gate therefore
+requires committing the BENCH record that justifies it.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench", REPO_ROOT / "scripts" / "bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def latest_committed_cold_seconds():
+    candidates = []
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        record = json.loads(path.read_text())
+        if record.get("quick"):
+            continue
+        cold = record.get("runner", {}).get("cold_seconds")
+        if isinstance(cold, (int, float)) and cold > 0:
+            candidates.append((record.get("timestamp", ""), float(cold)))
+    assert candidates, "no committed full BENCH_*.json record"
+    candidates.sort()
+    return candidates[-1][1]
+
+
+def test_gate_tracks_latest_committed_record():
+    bench = load_bench_module()
+    cold = latest_committed_cold_seconds()
+    gate = bench.RUNNER_GATE_SECONDS
+    assert gate >= cold, (
+        f"gate {gate}s is below the latest committed cold runner pass "
+        f"({cold}s): every healthy run would fail"
+    )
+    assert gate <= cold * 1.5, (
+        f"gate {gate}s is more than 1.5x the latest committed cold "
+        f"runner pass ({cold}s): commit a BENCH record justifying it"
+    )
+
+
+def test_baseline_resolver_agrees_with_committed_records():
+    # scripts/bench.py compares each run against the most recent full
+    # committed record; this pins that resolver to the same file set the
+    # gate test reads, so the two can't silently diverge.
+    bench = load_bench_module()
+    cold, source = bench.latest_bench_baseline()
+    assert source != "seed", "expected a committed full BENCH record"
+    assert cold == latest_committed_cold_seconds()

@@ -122,6 +122,35 @@ class TestResultCache:
         assert hit and value == [1, 2, 3]  # memory layer still serves it
         assert not any(tmp_path.rglob("*.pkl"))  # nothing landed on disk
 
+    def test_unpicklable_value_degrades_to_memory_only(self, tmp_path):
+        """A result that cannot be pickled (regression: ``put`` used to
+        let the pickle error propagate out of the sweep) must degrade to
+        memory-only exactly like a full disk."""
+        cache = ResultCache(tmp_path)
+        value = {"closure": lambda: None}  # functions don't pickle
+        with pytest.warns(RuntimeWarning, match="memory-only"):
+            cache.put("deadbeef", value)
+        assert cache.stats.disk_put_failures == 1
+        assert cache.stats.stores == 1
+        hit, served = cache.get("deadbeef")
+        assert hit and served is value  # memory layer still serves it
+        assert not any(tmp_path.rglob("*.pkl"))  # no torn file left behind
+
+    def test_memory_hit_refreshes_recency(self):
+        """True LRU (regression: eviction used to be insertion-order, so
+        a hot entry read every batch was still evicted first): a re-read
+        entry must survive the eviction that drops the stale quarter."""
+        cache = ResultCache(max_memory_entries=8)
+        for i in range(8):
+            cache.put(f"k{i}", i)
+        hit, _ = cache.get("k0")  # refresh: k0 is now most recent
+        assert hit
+        cache.put("k8", 8)  # over capacity: evicts the stale quarter
+        hit, value = cache.get("k0")
+        assert hit and value == 0  # survived: it was recently used
+        hit, _ = cache.get("k1")
+        assert not hit  # the actually-stale entry went instead
+
     def test_failed_write_resumes_when_disk_recovers(self, tmp_path,
                                                      monkeypatch):
         import repro.engine.cache as cache_mod
