@@ -41,6 +41,11 @@ Sections
     engine — the resume must re-evaluate nothing (every point comes back
     from the store, not the cache) and reproduce the identical Pareto
     frontier.
+``manycore``
+    One heterogeneous tile-grid scenario (``repro manycore``) through
+    the batched kernel and again through the full OOO oracle — the two
+    must agree cycle-for-cycle on every application — with the chip
+    thermal solve included in both passes.
 ``limiter``
     Memory footprint of the per-cycle issue/FU occupancy maps on a long
     trace, with pruning disabled vs enabled.
@@ -425,6 +430,57 @@ def bench_explore(samples: int, uops: int, apps: int) -> dict:
     }
 
 
+def bench_manycore(scenario: str, uops: int, apps: int,
+                   base_grid: int) -> dict:
+    """Tile-grid scenario wall-clock plus kernel/oracle equivalence.
+
+    The scenario runs twice: once through the batched kernel path and
+    once with ``oracle=True`` (the full per-core OOO model).  The two
+    must agree exactly on cycles, barrier waits and coherence transfers
+    for every application — the manycore pipeline inherits the kernel's
+    cycle-exactness guarantee.
+    """
+    from repro.experiments.manycore import evaluate_manycore, get_scenario
+    from repro.uarch.kernel import kernel_enabled
+
+    grid = get_scenario(scenario)
+    with timer("manycore.kernel") as kernel_span:
+        report = evaluate_manycore(
+            grid, total_uops=uops, base_grid=base_grid, apps=apps,
+        )
+    with timer("manycore.oracle") as oracle_span:
+        oracle = evaluate_manycore(
+            grid, total_uops=uops, base_grid=base_grid, apps=apps,
+            oracle=True,
+        )
+    matches = all(
+        report.results[app].cycles == oracle.results[app].cycles
+        and report.results[app].barrier_wait_cycles
+        == oracle.results[app].barrier_wait_cycles
+        and report.results[app].coherence_transfers
+        == oracle.results[app].coherence_transfers
+        for app in report.apps
+    )
+    assert matches, "manycore kernel diverged from the OOO oracle"
+    noc = report.resolved.noc
+    return {
+        "scenario": scenario,
+        "tiles": grid.num_tiles,
+        "apps": len(report.apps),
+        "uops": uops,
+        "thermal_grid": report.thermal_grid,
+        "kernel_enabled": kernel_enabled(),
+        "kernel_seconds": round(kernel_span.seconds, 3),
+        "oracle_seconds": round(oracle_span.seconds, 3),
+        "oracle_speedup": round(
+            oracle_span.seconds / max(kernel_span.seconds, 1e-9), 2
+        ),
+        "kernel_matches_oracle": matches,
+        "noc_latency": noc.average_latency,
+        "max_peak_c": round(max(report.peak_c.values()), 2),
+    }
+
+
 def bench_limiter(uops: int) -> dict:
     from repro.core.configs import base_config
     from repro.uarch import ooo
@@ -480,12 +536,16 @@ def main() -> None:
         sizes = dict(uops=1000, multicore_uops=3000, grid=8, solves=3,
                      limiter_uops=20000, kernel_uops=2000,
                      crossover_uops=400, crossover_repeats=1,
-                     explore_samples=24, explore_uops=400, explore_apps=2)
+                     explore_samples=24, explore_uops=400, explore_apps=2,
+                     manycore_scenario="mixed-2x2", manycore_uops=3000,
+                     manycore_apps=2, manycore_grid=8)
     else:
         sizes = dict(uops=8000, multicore_uops=24000, grid=12, solves=21,
                      limiter_uops=60000, kernel_uops=8000,
                      crossover_uops=2000, crossover_repeats=3,
-                     explore_samples=200, explore_uops=2000, explore_apps=3)
+                     explore_samples=200, explore_uops=2000, explore_apps=3,
+                     manycore_scenario="mixed-4x4", manycore_uops=24000,
+                     manycore_apps=3, manycore_grid=12)
 
     if args.output:
         out = Path(args.output)
@@ -567,6 +627,21 @@ def main() -> None:
           f"({record['explore']['resume_evaluated']} re-evaluated, "
           f"frontier identical: "
           f"{record['explore']['frontier_identical']})")
+
+    print(f"benchmarking manycore scenario "
+          f"({sizes['manycore_scenario']}, "
+          f"uops={sizes['manycore_uops']}) ...")
+    record["manycore"] = bench_manycore(
+        sizes["manycore_scenario"], sizes["manycore_uops"],
+        sizes["manycore_apps"], sizes["manycore_grid"]
+    )
+    print(f"  kernel {record['manycore']['kernel_seconds']}s vs oracle "
+          f"{record['manycore']['oracle_seconds']}s "
+          f"({record['manycore']['oracle_speedup']}x) over "
+          f"{record['manycore']['tiles']} tiles / "
+          f"{record['manycore']['apps']} apps, matches oracle: "
+          f"{record['manycore']['kernel_matches_oracle']}, peak "
+          f"{record['manycore']['max_peak_c']}C")
 
     print(f"benchmarking limiter pruning (uops={sizes['limiter_uops']}) ...")
     record["limiter"] = bench_limiter(sizes["limiter_uops"])

@@ -38,6 +38,13 @@ Commands
     batched kernel, crash-safe resume from an append-only JSONL store
     (``--store PATH``), and ``--pareto`` for the frequency / energy /
     peak-temperature frontier.
+
+``manycore <scenario>``
+    Evaluate a heterogeneous tile-grid scenario
+    (:class:`~repro.design.grid.TileGrid`): a registered scenario name
+    (``repro manycore mixed-4x4``) or a JSON grid file, run across the
+    parallel suite on the mesh NoC with per-tile energy and one
+    chip-level thermal solve.
 """
 
 from __future__ import annotations
@@ -265,6 +272,64 @@ def cmd_explore(args: argparse.Namespace) -> None:
               f"(rerun with --pareto to print)")
 
 
+def cmd_manycore(args: argparse.Namespace) -> None:
+    import time
+
+    from repro.design.grid import GridError, load_grid
+    from repro.experiments.manycore import (
+        evaluate_manycore,
+        get_scenario,
+        scenario_names,
+    )
+    from repro.obs import record_manycore
+
+    token = args.scenario
+    if token.endswith(".json"):
+        try:
+            grid = load_grid(token)
+        except (OSError, GridError) as exc:
+            raise SystemExit(f"cannot load grid: {exc}")
+    else:
+        try:
+            grid = get_scenario(token)
+        except KeyError:
+            raise SystemExit(
+                f"unknown scenario {token!r}; registered scenarios: "
+                f"{', '.join(scenario_names())} (or pass a grid JSON file)"
+            )
+    start = time.perf_counter()
+    try:
+        report = evaluate_manycore(
+            grid,
+            total_uops=args.uops * 3,
+            base_grid=args.grid,
+            apps=args.apps,
+            oracle=args.oracle,
+        )
+    except GridError as exc:
+        raise SystemExit(str(exc))
+    seconds = time.perf_counter() - start
+    report.print()
+    noc = report.resolved.noc
+    record_manycore({
+        "scenario": grid.name,
+        "rows": grid.rows,
+        "cols": grid.cols,
+        "tiles": grid.num_tiles,
+        "apps": len(report.apps),
+        "folded_tiles": noc.folded_tiles,
+        "injection_rate": noc.injection_rate,
+        "noc_latency": noc.average_latency,
+        "contention_cycles": noc.contention_cycles,
+        "dropped_phases": sum(
+            result.dropped_phases for result in report.results.values()
+        ),
+        "max_peak_c": max(report.peak_c.values()),
+        "thermal_grid": report.thermal_grid,
+        "seconds": seconds,
+    })
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--uops", type=int, default=8000,
@@ -348,6 +413,22 @@ def main(argv=None) -> None:
     explore_parser.add_argument(
         "--pareto", action="store_true",
         help="print the frequency/energy/peak-temperature Pareto frontier")
+    manycore_parser = add_command(
+        "manycore", cmd_manycore,
+        "evaluate a heterogeneous tile-grid scenario",
+        ("scenario", "registered scenario name (see repro manycore --help) "
+                     "or path to a TileGrid JSON file"))
+    manycore_parser.add_argument(
+        "--apps", type=int, default=None, metavar="N",
+        help="parallel applications to run (default: all 15)")
+    manycore_parser.add_argument(
+        "--grid", type=int, default=12, metavar="N",
+        help="per-core thermal grid resolution before mesh scaling "
+             "(default 12)")
+    manycore_parser.add_argument(
+        "--oracle", action="store_true",
+        help="force the full out-of-order path instead of the batched "
+             "kernel (the two are cycle-exact)")
 
     raw = list(argv if argv is not None else sys.argv[1:])
     # Convenience spellings: "figure6" == "figure 6", "table11" == "table 11".

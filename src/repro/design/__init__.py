@@ -26,6 +26,13 @@ Quickstart::
     print(evaluation.avg_speedup, evaluation.max_peak_c)
 """
 
+from repro.design.grid import (
+    GridError,
+    ResolvedManycore,
+    TileGrid,
+    load_grid,
+    resolve_manycore,
+)
 from repro.design.point import (
     DesignPoint,
     FREQUENCY_POLICIES,
@@ -68,6 +75,7 @@ from repro.design.sweep import (
 __all__ = [
     "DesignPoint",
     "FREQUENCY_POLICIES",
+    "GridError",
     "LAYER_FLAVORS",
     "MULTICORE_BASELINE_CORES",
     "PAPER_MULTICORE",
@@ -75,7 +83,9 @@ __all__ = [
     "PARTITIONS",
     "PointEvaluation",
     "ResolvedDesign",
+    "ResolvedManycore",
     "STACKS",
+    "TileGrid",
     "TABLE11_ORDER",
     "as_point",
     "build_config",
@@ -83,6 +93,7 @@ __all__ = [
     "derive_frequency",
     "evaluate_points",
     "get_point",
+    "load_grid",
     "load_points",
     "paper_multicore_configs",
     "paper_multicore_points",
@@ -95,5 +106,6 @@ __all__ = [
     "registry_groups",
     "resolve",
     "resolve_many",
+    "resolve_manycore",
     "unregister",
 ]

@@ -29,6 +29,7 @@ from repro.design.resolve import (
     paper_single_core_configs,
 )
 from repro.engine.cache import ResultCache, make_key
+from repro.lru import LruMemo
 from repro.obs.telemetry import EngineTelemetry
 from repro.uarch.kernel import kernel_enabled, run_trace_batch
 from repro.uarch.multicore import MulticoreResult, run_parallel, \
@@ -75,21 +76,14 @@ class SimSpec:
 #: Keys are content keys over the *full* profile — two profiles that share
 #: a name but differ in any field (ablation sweeps build such variants
 #: with ``dataclasses.replace``) must never share a trace.
-_TRACE_MEMO: "OrderedDict[str, object]" = OrderedDict()
-_TRACE_MEMO_CAP = 8
+_TRACE_MEMO = LruMemo(cap=8)
 
 
 def _trace_for(profile: AppProfile, uops: int, seed: int):
     key = make_key("trace", profile=profile, uops=uops, seed=seed)
-    trace = _TRACE_MEMO.get(key)
-    if trace is None:
-        trace = generate_trace(profile, uops, seed=seed)
-        _TRACE_MEMO[key] = trace
-        if len(_TRACE_MEMO) > _TRACE_MEMO_CAP:
-            _TRACE_MEMO.popitem(last=False)
-    else:
-        _TRACE_MEMO.move_to_end(key)
-    return trace
+    return _TRACE_MEMO.get(
+        key, lambda: generate_trace(profile, uops, seed=seed)
+    )
 
 
 def execute_spec(spec: SimSpec):

@@ -121,6 +121,24 @@ def _build_explore(params: BuildParams) -> dict:
     }
 
 
+def _build_manycore(params: BuildParams) -> dict:
+    from repro.experiments.manycore import (
+        GOLDEN_SCENARIO,
+        GOLDEN_SCENARIO_APPS,
+        evaluate_manycore,
+        get_scenario,
+    )
+
+    report = evaluate_manycore(
+        get_scenario(GOLDEN_SCENARIO),
+        total_uops=params.multicore_uops,
+        seed=params.seed,
+        base_grid=params.grid,
+        apps=GOLDEN_SCENARIO_APPS,
+    )
+    return report.as_dict()
+
+
 def _table_builder(name: str) -> Callable[[BuildParams], dict]:
     def build(params: BuildParams) -> dict:
         from repro.experiments.tables import TABLE_PAYLOADS
@@ -167,6 +185,10 @@ def _registry() -> "OrderedDict[str, Artifact]":
     )
     artifacts["explore"] = Artifact(
         name="explore", kind="explore", build=_build_explore, static=False,
+    )
+    artifacts["manycore"] = Artifact(
+        name="manycore", kind="manycore", build=_build_manycore,
+        static=False,
     )
     return artifacts
 

@@ -93,6 +93,10 @@ _EXACT_SUBTREES = ("paper", "spec", "params")
 #: Leaf keys holding temperatures (Celsius).
 _THERMAL_LEAVES = ("peak_c", "temperature_c", "max_peak_c")
 
+#: Path segments whose subtree is all temperatures (the manycore
+#: per-app thermal blocks).
+_THERMAL_SUBTREES = ("thermal",)
+
 
 def policy_for(artifact: str, path: Tuple[str, ...]) -> Tolerance:
     """The tolerance governing one numeric cell of one artifact.
@@ -103,7 +107,8 @@ def policy_for(artifact: str, path: Tuple[str, ...]) -> Tolerance:
     if any(segment in _EXACT_SUBTREES for segment in path):
         return EXACT
     leaf = path[-1] if path else ""
-    if leaf in _THERMAL_LEAVES or artifact == "figure8":
+    if leaf in _THERMAL_LEAVES or artifact == "figure8" \
+            or any(segment in _THERMAL_SUBTREES for segment in path):
         # Figure 8's series *are* peak temperatures.
         return THERMAL_FLOAT
     return MODEL_FLOAT

@@ -20,11 +20,14 @@ from repro.obs.manifest import (
     build_manifest,
     check_manifest,
     clear_explore,
+    clear_manycore,
     clear_validation,
     metrics_path,
     record_explore,
+    record_manycore,
     record_validation,
     recorded_explore,
+    recorded_manycore,
     recorded_validation,
     validate_manifest,
     write_manifest,
@@ -52,12 +55,15 @@ __all__ = [
     "build_manifest",
     "check_manifest",
     "clear_explore",
+    "clear_manycore",
     "clear_validation",
     "drain_spans",
     "metrics_path",
     "record_explore",
+    "record_manycore",
     "record_validation",
     "recorded_explore",
+    "recorded_manycore",
     "recorded_spans",
     "recorded_validation",
     "timer",

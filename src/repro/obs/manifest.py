@@ -44,7 +44,10 @@ from repro.obs.timer import TimerSpan, recorded_spans
 #: v5 added the optional ``explore`` section (design-space exploration
 #: summary: space identity, point/evaluation/resume counts, frontier
 #: size and wall-clock).
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v5"
+#: v6 added the optional ``manycore`` section (tile-grid scenario
+#: summary: grid identity, NoC latency/contention, dropped barrier
+#: phases, peak temperature and wall-clock).
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v6"
 
 
 class ManifestError(ValueError):
@@ -99,6 +102,31 @@ def clear_explore() -> None:
     """Forget the recorded exploration summary (test isolation)."""
     global _EXPLORE_SUMMARY
     _EXPLORE_SUMMARY = None
+
+
+# -- manycore-summary capture -------------------------------------------------
+
+#: The tile-grid scenario summary recorded by the last ``repro manycore``
+#: run in this process, if any (same capture pattern as the explore
+#: summary).
+_MANYCORE_SUMMARY: Optional[Dict[str, Any]] = None
+
+
+def record_manycore(summary: Dict[str, Any]) -> None:
+    """Record a manycore scenario summary for the next manifest."""
+    global _MANYCORE_SUMMARY
+    _MANYCORE_SUMMARY = summary
+
+
+def recorded_manycore() -> Optional[Dict[str, Any]]:
+    """The manycore summary recorded this process (``None`` if none)."""
+    return _MANYCORE_SUMMARY
+
+
+def clear_manycore() -> None:
+    """Forget the recorded manycore summary (test isolation)."""
+    global _MANYCORE_SUMMARY
+    _MANYCORE_SUMMARY = None
 
 
 # -- construction -------------------------------------------------------------
@@ -172,6 +200,9 @@ def build_manifest(command: str, engine: Optional[object] = None,
     explore = recorded_explore()
     if explore is not None:
         manifest["explore"] = explore
+    manycore = recorded_manycore()
+    if manycore is not None:
+        manifest["manycore"] = manycore
     return manifest
 
 
@@ -274,6 +305,21 @@ _EXPLORE_FIELDS = {
     "duplicates": int,
     "chunks": int,
     "frontier_size": int,
+    "seconds": (int, float),
+}
+_MANYCORE_FIELDS = {
+    "scenario": str,
+    "rows": int,
+    "cols": int,
+    "tiles": int,
+    "apps": int,
+    "folded_tiles": bool,
+    "injection_rate": (int, float),
+    "noc_latency": int,
+    "contention_cycles": (int, float),
+    "dropped_phases": int,
+    "max_peak_c": (int, float),
+    "thermal_grid": int,
     "seconds": (int, float),
 }
 
@@ -404,6 +450,17 @@ def validate_manifest(manifest: Any) -> List[str]:
                 if isinstance(value, int) and not isinstance(value, bool) \
                         and value < 0:
                     problems.append(f"explore.{name}: negative count {value}")
+    if "manycore" in manifest:
+        manycore = manifest["manycore"]
+        _check_record(manycore, _MANYCORE_FIELDS, "manycore", problems)
+        if isinstance(manycore, dict):
+            for name in ("rows", "cols", "tiles", "apps", "dropped_phases",
+                         "noc_latency", "thermal_grid"):
+                value = manycore.get(name)
+                if isinstance(value, int) and not isinstance(value, bool) \
+                        and value < 0:
+                    problems.append(
+                        f"manycore.{name}: negative count {value}")
     return problems
 
 

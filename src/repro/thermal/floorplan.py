@@ -16,7 +16,7 @@ doubled power density.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.workloads.profiles import AppProfile
 
@@ -175,3 +175,85 @@ def floorplan_folded(
             blocks.append(Block(name, BLOCK_AREAS[name], power))
         layers.append(Floorplan(f"folded_{layer}", area, blocks))
     return layers
+
+
+def floorplan_manycore(
+    tile_plans: Sequence[Sequence[Floorplan]],
+    num_layers: int,
+    name: str = "manycore",
+) -> Tuple[List[Floorplan], List[List[Tuple[int, int]]]]:
+    """Tile per-core floorplans onto chip-level per-layer floorplans.
+
+    ``tile_plans`` holds one per-layer floorplan list per tile (row-major
+    mesh order): length 1 for an unfolded (2D) tile, 2 for a folded one.
+    Every tile occupies one uniform *slot* of the chip footprint (the
+    largest tile's area); a tile smaller than its slot — or absent from
+    a layer entirely, like a 2D tile on a folded chip's top layer — is
+    padded with a zero-power filler block so the spatial layout stays
+    honest.
+
+    Returns ``(chip_plans, block_ranges)``: one chip :class:`Floorplan`
+    per active layer, and ``block_ranges[layer][tile] = (start, end)``
+    block indices into that plan — feed them to :func:`tile_cell_spans`
+    to recover each tile's grid cells for per-tile peak temperatures.
+    """
+    if not tile_plans:
+        raise ValueError("manycore floorplan needs at least one tile")
+    for plans in tile_plans:
+        if not 1 <= len(plans) <= num_layers:
+            raise ValueError(
+                f"each tile needs 1..{num_layers} per-layer floorplans, "
+                f"got {len(plans)}"
+            )
+    slot_area = max(plan.area for plans in tile_plans for plan in plans)
+    chip_area = slot_area * len(tile_plans)
+    chip_plans: List[Floorplan] = []
+    block_ranges: List[List[Tuple[int, int]]] = []
+    for layer in range(num_layers):
+        blocks: List[Block] = []
+        ranges: List[Tuple[int, int]] = []
+        for index, plans in enumerate(tile_plans):
+            start = len(blocks)
+            if layer < len(plans):
+                plan = plans[layer]
+                scale = plan.area / chip_area
+                for block in plan.blocks:
+                    blocks.append(Block(
+                        f"t{index}.{block.name}",
+                        block.area_fraction * scale,
+                        block.power,
+                    ))
+                pad = (slot_area - plan.area) / chip_area
+            else:
+                pad = slot_area / chip_area
+            if pad > 1e-12:
+                blocks.append(Block(f"t{index}.pad", pad, 0.0))
+            ranges.append((start, len(blocks)))
+        chip_plans.append(Floorplan(f"{name}_layer{layer}", chip_area, blocks))
+        block_ranges.append(ranges)
+    return chip_plans, block_ranges
+
+
+def tile_cell_spans(
+    plan: Floorplan,
+    grid: int,
+    ranges: Sequence[Tuple[int, int]],
+) -> List[Tuple[int, int]]:
+    """Flat grid-cell spans of each tile's block range on one chip plan.
+
+    Replicates :meth:`Floorplan.power_density_map`'s allocation (each
+    block takes ``max(1, round(fraction * cells))`` cells, row-major,
+    truncated at the grid) so per-tile temperature readouts index the
+    exact cells the solver heated.
+    """
+    cells = grid * grid
+    positions: List[int] = []
+    pos = 0
+    for block in plan.blocks:
+        positions.append(pos)
+        pos += max(1, round(block.area_fraction * cells))
+    positions.append(pos)
+    return [
+        (min(positions[start], cells), min(positions[end], cells))
+        for start, end in ranges
+    ]

@@ -19,13 +19,13 @@ amortises its matrix factorisation across power maps the same way), so a
 from __future__ import annotations
 
 import dataclasses
-from collections import OrderedDict
 from typing import List, Optional
 
 import numpy as np
 from scipy.sparse import coo_matrix, lil_matrix
 from scipy.sparse.linalg import spsolve, splu
 
+from repro.lru import LruMemo
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.stack import ThermalStack
 
@@ -144,8 +144,7 @@ class _FactorizedStack:
 
 #: LRU of factorized systems; a sweep touches a handful of (stack, grid,
 #: area) combinations, each factorization is ~1e3 nodes — cheap to keep.
-_FACTOR_CACHE: "OrderedDict[tuple, _FactorizedStack]" = OrderedDict()
-_FACTOR_CACHE_CAP = 32
+_FACTOR_CACHE = LruMemo(cap=32)
 
 
 def _stack_signature(stack: ThermalStack, chip_area: float,
@@ -168,15 +167,9 @@ def _stack_signature(stack: ThermalStack, chip_area: float,
 def _factorized(stack: ThermalStack, chip_area: float,
                 grid: int) -> _FactorizedStack:
     key = _stack_signature(stack, chip_area, grid)
-    system = _FACTOR_CACHE.get(key)
-    if system is None:
-        system = _FactorizedStack(stack, chip_area, grid)
-        _FACTOR_CACHE[key] = system
-        if len(_FACTOR_CACHE) > _FACTOR_CACHE_CAP:
-            _FACTOR_CACHE.popitem(last=False)
-    else:
-        _FACTOR_CACHE.move_to_end(key)
-    return system
+    return _FACTOR_CACHE.get(
+        key, lambda: _FactorizedStack(stack, chip_area, grid)
+    )
 
 
 def factorization_cache_size() -> int:

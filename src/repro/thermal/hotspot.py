@@ -10,9 +10,14 @@ TSV3D ~30C above and over Tjmax ~ 100C for the hottest applications.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import List, Optional
 
-from repro.thermal.floorplan import floorplan_2d, floorplan_folded
+from repro.thermal.floorplan import (
+    floorplan_2d,
+    floorplan_folded,
+    floorplan_manycore,
+    tile_cell_spans,
+)
 from repro.thermal.grid import ThermalSolution, solve_floorplans
 from repro.thermal.stack import (
     ThermalStack,
@@ -128,3 +133,88 @@ def peak_temperature_for(design, core_power: float,
         )
     return _solve_design(design.display_name, design.point.stack, core_power,
                          profile, grid)
+
+
+# -- manycore: one thermal solve for a whole tile grid ------------------------
+
+#: Ceiling on the manycore thermal grid resolution — the splu-factorized
+#: solver's ~100x headroom covers a 48x48x(5-layer) system comfortably.
+MANYCORE_MAX_GRID: int = 48
+
+
+def manycore_grid_resolution(base_grid: int, rows: int, cols: int) -> int:
+    """Scale a per-core grid resolution to a rows x cols tile mesh.
+
+    Each tile needs roughly a core's worth of cells, so the side scales
+    with the mesh's larger dimension, capped at :data:`MANYCORE_MAX_GRID`.
+    """
+    return min(MANYCORE_MAX_GRID, max(base_grid, base_grid * max(rows, cols)))
+
+
+def _tile_plans(stack_kind: str, core_power: float,
+                profile: Optional[AppProfile]):
+    if stack_kind == "2D":
+        return [floorplan_2d(core_power, profile)]
+    if stack_kind == "TSV3D":
+        return floorplan_folded(core_power, profile,
+                                hot_block_extra_saving=False)
+    if stack_kind == "M3D":
+        return floorplan_folded(core_power, profile,
+                                hot_block_extra_saving=True)
+    raise ValueError(f"no thermal model for stack {stack_kind!r}")
+
+
+def manycore_temperatures(
+    tile_stacks: List[str],
+    tile_powers: List[float],
+    profile: Optional[AppProfile] = None,
+    grid: int = 32,
+    name: str = "manycore",
+) -> tuple:
+    """Solve one chip-level thermal system for a heterogeneous tile grid.
+
+    ``tile_stacks``/``tile_powers`` give each tile's stack kind ("2D",
+    "TSV3D", "M3D") and total core power (row-major mesh order).  The
+    chip uses the *deepest* stack present (M3D beats TSV3D beats 2D);
+    2D tiles on a folded chip put all their power on the bottom layer
+    and a zero-power filler on top.
+
+    Returns ``(solution, tile_peaks)``: the chip-level
+    :class:`~repro.thermal.grid.ThermalSolution` and each tile's peak
+    temperature (C) read from exactly the grid cells its blocks heated.
+    """
+    if len(tile_stacks) != len(tile_powers):
+        raise ValueError("one power per tile stack")
+    kinds = set(tile_stacks)
+    if "M3D" in kinds:
+        stack = stack_m3d_thermal()
+    elif "TSV3D" in kinds:
+        stack = stack_tsv3d_thermal()
+    else:
+        stack = stack_2d_thermal()
+    active = stack.active_indices
+    tile_plans = [
+        _tile_plans(kind, power, profile)
+        for kind, power in zip(tile_stacks, tile_powers)
+    ]
+    chip_plans, block_ranges = floorplan_manycore(
+        tile_plans, len(active), name=name,
+    )
+    blocks = max(len(plan.blocks) for plan in chip_plans)
+    if grid * grid < blocks:
+        raise ValueError(
+            f"grid {grid}x{grid} cannot place {blocks} blocks; "
+            f"use manycore_grid_resolution()"
+        )
+    solution = solve_floorplans(stack, chip_plans, grid=grid)
+    tile_peaks = [solution.ambient_c] * len(tile_plans)
+    for position, layer_index in enumerate(active):
+        plan = chip_plans[position]
+        spans = tile_cell_spans(plan, grid, block_ranges[position])
+        flat = solution.temperatures[layer_index].reshape(-1)
+        for tile, (start, end) in enumerate(spans):
+            if end > start:
+                tile_peaks[tile] = max(
+                    tile_peaks[tile], float(flat[start:end].max())
+                )
+    return solution, tile_peaks

@@ -18,10 +18,12 @@ from repro.uarch.isa import FU_POOLS, OP_LATENCY, MicroOp, OpClass, Trace
 from repro.uarch.kernel import kernel_enabled, run_trace_batch
 from repro.uarch.multicore import (
     MulticoreResult,
+    evaluate_tiles,
     run_parallel,
     run_parallel_batch,
+    run_parallel_tiles,
 )
-from repro.uarch.noc import RingNoc
+from repro.uarch.noc import MeshNoc, Noc, RingNoc
 from repro.uarch.ooo import OutOfOrderCore, SimResult, SimStats, run_trace
 
 __all__ = [
@@ -45,6 +47,10 @@ __all__ = [
     "Trace",
     "MulticoreResult",
     "run_parallel",
+    "run_parallel_tiles",
+    "evaluate_tiles",
+    "MeshNoc",
+    "Noc",
     "RingNoc",
     "OutOfOrderCore",
     "SimResult",

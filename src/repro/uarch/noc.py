@@ -1,23 +1,77 @@
-"""Ring network-on-chip model (Table 9: "Ring with MESI directory-based
-protocol").
+"""Network-on-chip models: the paper's ring stub and a mesh for manycore.
+
+Table 9 gives the paper's multicore interconnect ("Ring with MESI
+directory-based protocol"); :class:`RingNoc` models it.  The manycore
+scenario class (ROADMAP; HeM3D in PAPERS.md) needs a real topology, so
+:class:`MeshNoc` adds an XY-routed 2D mesh with per-hop latency, an
+M/D/1-style contention term driven by injection rate, and folded-tier
+link shortening.  Both implement the :class:`Noc` protocol.
 
 The quantity the rest of the system needs is the average extra latency a
 core pays to reach the shared L3 / a remote cache.  Folding cores in M3D
 lets *two cores share one router stop* (Figure 4), halving both the number
 of stops and the physical link length — the global-wire benefit of
-Section 3.1.
+Section 3.1.  On the mesh the same folding shortens every tile-to-tile
+link (``folded_tiles``).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
+from typing import Protocol, runtime_checkable
 
 #: Cycles per router traversal (arbitration + crossbar).
 ROUTER_CYCLES: int = 1
 
 #: Cycles per inter-stop link at the 2D link length.
 LINK_CYCLES_2D: int = 2
+
+#: Physical inter-stop link length in 2D (m).
+LINK_LENGTH_2D_M: float = 2e-3
+
+#: Link wire capacitance per metre per bit: 0.25 nF/m-bit, i.e.
+#: 0.25 fF/um-bit (repeated global wire).
+LINK_CAP_PER_M_BIT: float = 0.25e-9
+
+#: Flit width (bits) — one 64-bit word per flit.
+FLIT_BITS: int = 64
+
+#: Output channels per mesh router that an XY route can leave on
+#: (N/S/E/W); divides the per-router offered load in the M/D/1 term.
+MESH_ROUTER_CHANNELS: int = 4
+
+#: Utilisation ceiling for the M/D/1 queue — keeps the contention term
+#: finite when the offered load approaches saturation.
+MAX_UTILISATION: float = 0.95
+
+
+def _link_energy_per_flit(link_m: float, vdd: float) -> float:
+    """Energy of moving one flit across ONE link of length ``link_m`` (J).
+
+    ``C_link * V^2`` per bit, times :data:`FLIT_BITS` bits per flit.
+    Per-hop by construction: multiply by a hop count for route energy.
+    """
+    cap_per_bit = LINK_CAP_PER_M_BIT * link_m  # F
+    return FLIT_BITS * cap_per_bit * vdd**2
+
+
+@runtime_checkable
+class Noc(Protocol):
+    """What the multicore simulator needs from an interconnect model."""
+
+    num_cores: int
+
+    @property
+    def average_hops(self) -> float: ...
+
+    @property
+    def average_latency(self) -> int: ...
+
+    @property
+    def contention_cycles(self) -> float: ...
+
+    def link_energy_per_flit(self, vdd: float = 0.8) -> float: ...
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,17 +103,111 @@ class RingNoc:
         return self.num_stops / 2.0
 
     @property
+    def contention_cycles(self) -> float:
+        """The ring stub carries no contention model (paper Table 9)."""
+        return 0.0
+
+    @property
     def average_latency(self) -> int:
         """Mean one-way latency (cycles) to a uniformly random stop."""
         per_hop = ROUTER_CYCLES + self.link_cycles
         return max(1, round(self.average_hops * per_hop))
 
     def link_energy_per_flit(self, vdd: float = 0.8) -> float:
-        """Energy of moving one 64-bit flit across one link (J).
+        """Energy of moving one 64-bit flit across ONE link (J).
 
-        The link wire is ~2mm in 2D (halved with shared stops); 0.2fF/um
-        gives ~0.4nF/m-bit... modelled as C_link * V^2 per bit.
+        The link wire is ~2mm in 2D (halved with shared stops) at
+        0.25 fF/um-bit (= :data:`LINK_CAP_PER_M_BIT`), modelled as
+        ``C_link * V^2`` per bit.  Per-hop, like :class:`MeshNoc`.
         """
-        link_m = 2e-3 * (0.5 if self.shared_stops else 1.0)
-        cap_per_bit = 0.25e-9 * link_m  # F
-        return 64.0 * cap_per_bit * vdd**2
+        link_m = LINK_LENGTH_2D_M * (0.5 if self.shared_stops else 1.0)
+        return _link_energy_per_flit(link_m, vdd)
+
+
+@dataclasses.dataclass(frozen=True)
+class MeshNoc:
+    """An XY-routed 2D mesh with one tile (core) per router.
+
+    Latency is hop count times per-hop service time plus an M/D/1-style
+    queueing term: each router is a deterministic server of
+    ``service = ROUTER_CYCLES + link_cycles`` cycles per flit; uniform
+    random traffic at ``injection_rate`` flits/core/cycle offers
+    ``injection_rate * average_hops / MESH_ROUTER_CHANNELS`` utilisation
+    per output channel, and the mean M/D/1 wait
+    ``rho * service / (2 * (1 - rho))`` is paid at every hop.
+
+    ``folded_tiles`` is the mesh analogue of the ring's shared stops:
+    folded (M3D) tiles halve the physical tile pitch, so links are half
+    as long and half as slow (Section 3.1's global-wire benefit).
+    """
+
+    rows: int
+    cols: int
+    folded_tiles: bool = False
+    injection_rate: float = 0.0  # flits per core per cycle
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("mesh needs at least a 1x1 grid")
+        if not 0.0 <= self.injection_rate <= 1.0:
+            raise ValueError(
+                f"injection_rate must be in [0, 1], got {self.injection_rate}"
+            )
+        # Satisfy the Noc protocol's num_cores attribute on a frozen class.
+        object.__setattr__(self, "num_cores", self.rows * self.cols)
+
+    @property
+    def link_cycles(self) -> int:
+        """Per-hop link latency; folded tiles halve the tile pitch."""
+        return max(1, LINK_CYCLES_2D // 2) if self.folded_tiles else LINK_CYCLES_2D
+
+    @property
+    def average_hops(self) -> float:
+        """Mean XY-route length between uniformly random tiles.
+
+        The mean Manhattan distance over all ordered (src, dst) pairs —
+        including src == dst — on an R x C grid is
+        ``(R^2 - 1) / (3R) + (C^2 - 1) / (3C)``; zero for a 1x1 mesh.
+        """
+        r, c = self.rows, self.cols
+        return (r * r - 1) / (3.0 * r) + (c * c - 1) / (3.0 * c)
+
+    @property
+    def service_cycles(self) -> int:
+        """Deterministic per-hop service time (router + link)."""
+        return ROUTER_CYCLES + self.link_cycles
+
+    @property
+    def utilisation(self) -> float:
+        """Offered load per router output channel (capped below 1)."""
+        rho = self.injection_rate * self.average_hops / MESH_ROUTER_CHANNELS
+        return min(rho, MAX_UTILISATION)
+
+    @property
+    def contention_cycles(self) -> float:
+        """Mean queueing delay over the whole route (cycles).
+
+        M/D/1 waiting time ``rho * s / (2 (1 - rho))`` at each of the
+        ``average_hops`` routers a flit traverses.
+        """
+        rho = self.utilisation
+        if rho <= 0.0:
+            return 0.0
+        wait = rho * self.service_cycles / (2.0 * (1.0 - rho))
+        return self.average_hops * wait
+
+    @property
+    def average_latency(self) -> int:
+        """Mean one-way latency (cycles) to a uniformly random tile."""
+        raw = self.average_hops * self.service_cycles + self.contention_cycles
+        return max(1, round(raw))
+
+    def link_energy_per_flit(self, vdd: float = 0.8) -> float:
+        """Energy of moving one 64-bit flit across ONE mesh link (J).
+
+        Same wire model as :meth:`RingNoc.link_energy_per_flit`
+        (0.25 fF/um-bit at the 2mm 2D pitch); folded tiles halve the
+        link length.  Per-hop energy — multiply by hop count.
+        """
+        link_m = LINK_LENGTH_2D_M * (0.5 if self.folded_tiles else 1.0)
+        return _link_energy_per_flit(link_m, vdd)

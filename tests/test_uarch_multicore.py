@@ -1,9 +1,21 @@
 """Tests for the ring NoC and the multicore barrier-aligned model."""
 
+import dataclasses
+from types import SimpleNamespace
+
 import pytest
 
 from repro.core.configs import base_config, m3d_het_2x_config, m3d_het_config
-from repro.uarch.multicore import run_parallel
+from repro.obs import ModelDisagreementWarning
+from repro.uarch.multicore import (
+    BARRIER_OVERHEAD_CYCLES,
+    _align_barriers,
+    _tile_result,
+    _work_shares,
+    evaluate_tiles,
+    run_parallel,
+    run_parallel_tiles,
+)
 from repro.uarch.noc import RingNoc
 from repro.workloads.parallel import parallel_by_name
 from repro.workloads.spec import spec_by_name
@@ -37,6 +49,13 @@ class TestRingNoc:
     def test_needs_cores(self):
         with pytest.raises(ValueError):
             RingNoc(0)
+
+    def test_odd_core_count_shared_stops(self):
+        # Odd core counts round the stop count up: the unpaired core
+        # still needs a stop.
+        assert RingNoc(5, shared_stops=True).num_stops == 3
+        assert RingNoc(1, shared_stops=True).num_stops == 1
+        assert RingNoc(1, shared_stops=True).average_latency >= 1
 
 
 class TestMulticore:
@@ -108,3 +127,162 @@ class TestUopConservation:
         assert result.requested_uops == 3
         assert result.actual_uops == 4
         assert all(core.stats.uops == 1 for core in result.per_core)
+
+
+class TestWorkShares:
+    def test_int_and_identical_tiles_agree(self):
+        tiles = [base_config()] * 4
+        assert _work_shares(4001, tiles) == _work_shares(4001, 4)
+        assert _work_shares(4001, 4) == [1001, 1000, 1000, 1000]
+
+    def test_weighted_shares_conserve_total(self):
+        tiles = [base_config(), m3d_het_config(), m3d_het_2x_config()]
+        for total in (16000, 1603):
+            shares = _work_shares(total, tiles)
+            assert sum(shares) == total
+            assert all(share >= 1 for share in shares)
+        # Fewer uops than tiles: the per-tile floor inflates the total.
+        assert all(share >= 1 for share in _work_shares(2, tiles))
+
+    def test_weighted_shares_track_capability(self):
+        slow = base_config()
+        fast = dataclasses.replace(
+            slow, name="fast", frequency=slow.frequency * 2,
+        )
+        shares = _work_shares(30000, [slow, fast])
+        assert shares == [10000, 20000]
+
+    def test_issue_width_weighs_in(self):
+        narrow = base_config()
+        wide = dataclasses.replace(
+            narrow, name="wide", issue_width=narrow.issue_width * 2,
+        )
+        shares = _work_shares(9000, [narrow, wide])
+        assert shares[1] == 2 * shares[0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            _work_shares(100, 0)
+        with pytest.raises(ValueError):
+            _work_shares(100, [])
+
+
+def _fake_run(cycles, markers):
+    """A SimResult stand-in with just what barrier alignment reads."""
+    return SimpleNamespace(
+        cycles=cycles,
+        stats=SimpleNamespace(sync_commit_cycles=list(markers), uops=0),
+    )
+
+
+class TestBarrierAlignment:
+    def test_homogeneous_no_drop(self):
+        runs = [_fake_run(100, [40]), _fake_run(90, [50])]
+        total, wait, dropped = _align_barriers(runs)
+        assert dropped == 0
+        # Phase 0: max(40, 50); phase 1: max(60, 40); + 2 barriers.
+        assert total == 50 + 60 + 2 * BARRIER_OVERHEAD_CYCLES
+        assert wait == (50 - 40) + (60 - 40)
+
+    def test_truncation_counts_dropped_phases(self):
+        # One core saw two barriers, the other one: alignment truncates
+        # to two phases and reports the dropped tail.
+        runs = [_fake_run(100, [40, 80]), _fake_run(90, [50])]
+        _, _, dropped = _align_barriers(runs)
+        assert dropped == 1
+
+    def test_hetero_frequencies_rescale_to_fastest(self):
+        runs = [_fake_run(100, []), _fake_run(100, [])]
+        total, _, _ = _align_barriers(runs, frequencies=[1e9, 2e9])
+        # The 1 GHz core's 100 cycles are 200 reference cycles.
+        assert total == 200 + BARRIER_OVERHEAD_CYCLES
+
+    def test_dropped_phases_warn_and_land_on_result(self):
+        tiles = [base_config(), base_config()]
+        runs = [_fake_run(100, [40, 80]), _fake_run(90, [50])]
+        profile = SimpleNamespace(name="fake-app")
+        with pytest.warns(ModelDisagreementWarning, match="dropped 1 tail"):
+            result = _tile_result(tiles, profile, 200, runs, 0, 2, None)
+        assert result.dropped_phases == 1
+
+    def test_aligned_runs_do_not_warn(self, recwarn):
+        tiles = [base_config(), base_config()]
+        runs = [_fake_run(100, [40]), _fake_run(90, [50])]
+        result = _tile_result(
+            tiles, SimpleNamespace(name="fake-app"), 200, runs, 0, 2, None,
+        )
+        assert result.dropped_phases == 0
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, ModelDisagreementWarning)
+        ]
+
+
+class TestShimBitExactness:
+    """run_parallel must be a pure renaming of run_parallel_tiles, and
+    the kernel path must agree with the oracle path, with the batched
+    kernel both on and off."""
+
+    FIELDS = (
+        "config_name", "trace_name", "cycles", "frequency",
+        "barrier_wait_cycles", "coherence_transfers", "noc_latency",
+        "requested_uops", "dropped_phases",
+    )
+
+    def assert_equal(self, a, b):
+        for field in self.FIELDS:
+            assert getattr(a, field) == getattr(b, field), field
+        assert [r.cycles for r in a.per_core] == [
+            r.cycles for r in b.per_core
+        ]
+        assert [r.stats.uops for r in a.per_core] == [
+            r.stats.uops for r in b.per_core
+        ]
+
+    @pytest.mark.parametrize("config_fn", [base_config, m3d_het_config])
+    def test_shim_equals_explicit_tiles(self, water, config_fn):
+        config = config_fn(num_cores=4)
+        shim = run_parallel(config, water, 6000)
+        explicit = run_parallel_tiles(
+            [config] * 4, water, 6000,
+            noc=RingNoc(4, shared_stops=config.shared_l2),
+            name=config.name,
+        )
+        self.assert_equal(shim, explicit)
+
+    @pytest.mark.parametrize("kernel_env", ["1", "0"])
+    def test_kernel_path_matches_oracle(self, water, monkeypatch,
+                                        kernel_env):
+        # evaluate_tiles always runs the kernel recurrences; REPRO_KERNEL
+        # gates the higher engine layers, so flipping it must change
+        # nothing here — and both must equal the OOO oracle.
+        monkeypatch.setenv("REPRO_KERNEL", kernel_env)
+        tiles = [base_config(), m3d_het_config(), base_config(),
+                 m3d_het_config()]
+        oracle = run_parallel_tiles(tiles, water, 6000)
+        kernel = evaluate_tiles(tiles, water, 6000)
+        self.assert_equal(oracle, kernel)
+
+
+class TestHeteroTiles:
+    def test_mixed_tiles_run(self, water):
+        tiles = [base_config(), m3d_het_config()]
+        result = run_parallel_tiles(tiles, water, 8000)
+        assert len(result.per_core) == 2
+        assert result.config_name == "2-tile-mix"
+        assert result.cycles > 0
+
+    def test_reference_clock_is_fastest_tile(self, water):
+        tiles = [base_config(), m3d_het_config()]
+        result = run_parallel_tiles(tiles, water, 8000)
+        assert result.frequency == max(t.frequency for t in tiles)
+
+    def test_faster_tile_gets_more_work(self, water):
+        slow = base_config()
+        fast = dataclasses.replace(
+            slow, name="fast", frequency=slow.frequency * 2,
+        )
+        result = run_parallel_tiles([slow, fast], water, 9000)
+        uops = [core.stats.uops for core in result.per_core]
+        assert uops[1] > uops[0]
+        assert sum(uops) == 9000
