@@ -41,6 +41,12 @@ Sections
     engine — the resume must re-evaluate nothing (every point comes back
     from the store, not the cache) and reproduce the identical Pareto
     frontier.
+``explore_pipeline``
+    Serial-chunk (``in_flight=1``) vs pipelined (``in_flight=2``)
+    explore throughput at ``--jobs 2`` through the persistent worker
+    pool — points/sec for both modes, byte-identity of the two stores,
+    and a zero-re-evaluation resume check.  CI asserts the pipelined
+    mode is at least as fast as the serial one.
 ``manycore``
     One heterogeneous tile-grid scenario (``repro manycore``) through
     the batched kernel and again through the full OOO oracle — the two
@@ -430,6 +436,126 @@ def bench_explore(samples: int, uops: int, apps: int) -> dict:
     }
 
 
+def bench_explore_pipeline(samples: int, uops: int, apps: int,
+                           chunk_size: int, repeats: int = 2) -> dict:
+    """Serial-chunk vs pipelined explore throughput at ``--jobs 2``.
+
+    The same seeded random space runs twice per repeat through a
+    2-worker engine.  The **serial-chunk** pass reproduces the pre-pool
+    regime: ``in_flight=1`` (strict expand→evaluate→commit) with
+    ``$REPRO_PERSISTENT_POOL=0``, so every chunk spawns, warms and
+    tears down its own executor — per-chunk pool spawn and cold
+    worker-side trace memos, exactly what a chunked explore paid before
+    the persistent pool.  The **pipelined** pass is the shipped default:
+    ``in_flight=2`` over the shared persistent pool (chunk N+1
+    simulating while chunk N's power/thermal post-processing and group
+    commit run on the parent — on multi-core hosts the two genuinely
+    overlap; everywhere the spawn/re-warm tax is gone).  A warmup pass
+    first spawns the persistent pool and warms its workers; each mode's
+    best of ``repeats`` is reported.  The two stores must be
+    byte-identical (pipelining must not reorder or alter records), and
+    a resume over the pipelined store with a fresh engine must
+    re-evaluate nothing.
+    """
+    from repro.design.space import SpaceSpec
+    from repro.engine.pool import pool_stats
+    from repro.engine.sweep import ExperimentEngine
+    from repro.explore import explore
+    from repro.golden.serialize import canonical_dumps
+
+    space = SpaceSpec(
+        name="bench-pipeline",
+        kind="random",
+        samples=samples,
+        seed=20260808,
+        axes={
+            "stack": ("M3D", "TSV3D"),
+            "top_layer_slowdown": (0.0, 0.17, 0.3, 0.5),
+            "partition": ("symmetric", "asymmetric"),
+            "frequency_policy": ("base", "derived"),
+            "vdd": (0.9, 1.0),
+        },
+    )
+
+    def run_pass(tmp: Path, tag: str, in_flight: int,
+                 persistent: bool = True):
+        store_path = tmp / f"{tag}.jsonl"
+        store_path.unlink(missing_ok=True)
+        saved = os.environ.get("REPRO_PERSISTENT_POOL")
+        if not persistent:
+            os.environ["REPRO_PERSISTENT_POOL"] = "0"
+        try:
+            with timer(f"explore.pipeline_{tag}") as span:
+                report = explore(
+                    space, store_path=store_path, uops=uops, apps=apps,
+                    chunk_size=chunk_size, in_flight=in_flight,
+                    engine=ExperimentEngine(jobs=2),
+                )
+        finally:
+            if not persistent:
+                if saved is None:
+                    os.environ.pop("REPRO_PERSISTENT_POOL", None)
+                else:
+                    os.environ["REPRO_PERSISTENT_POOL"] = saved
+        return span.seconds, report, store_path.read_bytes()
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-pipeline-") as tmp:
+        tmp = Path(tmp)
+        run_pass(tmp, "warmup", 2)
+        serial_seconds = pipelined_seconds = None
+        for _ in range(repeats):
+            seconds, serial_report, serial_bytes = run_pass(
+                tmp, "serial", 1, persistent=False
+            )
+            serial_seconds = (seconds if serial_seconds is None
+                              else min(serial_seconds, seconds))
+            seconds, pipelined_report, pipelined_bytes = run_pass(
+                tmp, "pipelined", 2
+            )
+            pipelined_seconds = (seconds if pipelined_seconds is None
+                                 else min(pipelined_seconds, seconds))
+        store_identical = serial_bytes == pipelined_bytes
+        resume_engine = ExperimentEngine(jobs=2)
+        with timer("explore.pipeline_resume") as resume_span:
+            resumed = explore(
+                space, store_path=tmp / "pipelined.jsonl", uops=uops,
+                apps=apps, chunk_size=chunk_size, in_flight=2,
+                engine=resume_engine,
+            )
+        frontier_identical = (
+            canonical_dumps(pipelined_report.frontier)
+            == canonical_dumps(resumed.frontier)
+        )
+    evaluated = pipelined_report.evaluated
+    return {
+        "samples": samples,
+        "uops": uops,
+        "apps": apps,
+        "chunk_size": chunk_size,
+        "jobs": 2,
+        "repeats": repeats,
+        "chunks": pipelined_report.chunks,
+        "evaluated": evaluated,
+        "serial_seconds": round(serial_seconds, 3),
+        "pipelined_seconds": round(pipelined_seconds, 3),
+        "serial_points_per_second": round(
+            evaluated / max(serial_seconds, 1e-9), 1
+        ),
+        "pipelined_points_per_second": round(
+            evaluated / max(pipelined_seconds, 1e-9), 1
+        ),
+        "pipelined_speedup": round(
+            serial_seconds / max(pipelined_seconds, 1e-9), 2
+        ),
+        "store_identical": store_identical,
+        "resume_seconds": round(resume_span.seconds, 4),
+        "resume_evaluated": resumed.evaluated,
+        "resume_cache_misses": resume_engine.cache.stats.misses,
+        "frontier_identical": frontier_identical,
+        "pool": pool_stats(),
+    }
+
+
 def bench_manycore(scenario: str, uops: int, apps: int,
                    base_grid: int) -> dict:
     """Tile-grid scenario wall-clock plus kernel/oracle equivalence.
@@ -537,6 +663,7 @@ def main() -> None:
                      limiter_uops=20000, kernel_uops=2000,
                      crossover_uops=400, crossover_repeats=1,
                      explore_samples=24, explore_uops=400, explore_apps=2,
+                     pipeline_chunk=6,
                      manycore_scenario="mixed-2x2", manycore_uops=3000,
                      manycore_apps=2, manycore_grid=8)
     else:
@@ -544,6 +671,7 @@ def main() -> None:
                      limiter_uops=60000, kernel_uops=8000,
                      crossover_uops=2000, crossover_repeats=3,
                      explore_samples=200, explore_uops=2000, explore_apps=3,
+                     pipeline_chunk=16,
                      manycore_scenario="mixed-4x4", manycore_uops=24000,
                      manycore_apps=3, manycore_grid=12)
 
@@ -627,6 +755,24 @@ def main() -> None:
           f"({record['explore']['resume_evaluated']} re-evaluated, "
           f"frontier identical: "
           f"{record['explore']['frontier_identical']})")
+
+    print(f"benchmarking explore pipeline (samples="
+          f"{sizes['explore_samples']}, chunk={sizes['pipeline_chunk']}, "
+          f"jobs=2) ...")
+    record["explore_pipeline"] = bench_explore_pipeline(
+        sizes["explore_samples"], sizes["explore_uops"],
+        sizes["explore_apps"], sizes["pipeline_chunk"]
+    )
+    print(f"  serial {record['explore_pipeline']['serial_seconds']}s "
+          f"({record['explore_pipeline']['serial_points_per_second']}/s) vs "
+          f"pipelined {record['explore_pipeline']['pipelined_seconds']}s "
+          f"({record['explore_pipeline']['pipelined_points_per_second']}/s, "
+          f"{record['explore_pipeline']['pipelined_speedup']}x) over "
+          f"{record['explore_pipeline']['chunks']} chunks; store identical: "
+          f"{record['explore_pipeline']['store_identical']}, resume "
+          f"re-evaluated {record['explore_pipeline']['resume_evaluated']}, "
+          f"frontier identical: "
+          f"{record['explore_pipeline']['frontier_identical']}")
 
     print(f"benchmarking manycore scenario "
           f"({sizes['manycore_scenario']}, "

@@ -249,6 +249,7 @@ def cmd_explore(args: argparse.Namespace) -> None:
             space,
             store_path=args.store,
             chunk_size=args.chunk,
+            in_flight=args.in_flight,
             uops=args.uops,
             apps=args.apps,
             grid=args.grid,
@@ -401,6 +402,11 @@ def main(argv=None) -> None:
     explore_parser.add_argument(
         "--chunk", type=int, default=64, metavar="N",
         help="points per evaluation chunk (default 64)")
+    explore_parser.add_argument(
+        "--in-flight", type=int, default=2, metavar="K",
+        help="chunks submitted to the worker pool at once (default 2; "
+             "1 = fully serial expand/evaluate/commit; commits stay in "
+             "order, so the store is byte-identical for any K)")
     explore_parser.add_argument(
         "--limit", type=int, default=None, metavar="N",
         help="stop after the first N points of the expansion")

@@ -67,9 +67,11 @@ from repro.design.resolve import (
 )
 from repro.design.sweep import (
     MULTICORE_BASELINE_CORES,
+    PendingPointEvaluation,
     PointEvaluation,
     evaluate_points,
     print_sweep_summary,
+    submit_points,
 )
 
 __all__ = [
@@ -81,6 +83,7 @@ __all__ = [
     "PAPER_MULTICORE",
     "PAPER_SINGLE_CORE",
     "PARTITIONS",
+    "PendingPointEvaluation",
     "PointEvaluation",
     "ResolvedDesign",
     "ResolvedManycore",
@@ -107,5 +110,6 @@ __all__ = [
     "resolve",
     "resolve_many",
     "resolve_manycore",
+    "submit_points",
     "unregister",
 ]

@@ -155,20 +155,71 @@ def interval_crosscheck(config, base_config, run, base_run,
     )
 
 
-def evaluate_points(points: Sequence, *,
-                    uops: int = 4000,
-                    multicore_uops: Optional[int] = None,
-                    seed: int = 1234,
-                    grid: int = 8,
-                    engine=None,
-                    apps: Optional[int] = None) -> List[PointEvaluation]:
-    """Evaluate design points end-to-end through the experiment engine.
+@dataclasses.dataclass
+class _PendingGroup:
+    """One mode's suite sweep in flight: specs submitted, results pending."""
 
-    ``points`` mixes registered names and :class:`DesignPoint` objects.
-    ``uops`` is the measured trace length per single-core run;
-    ``multicore_uops`` the total work per parallel run (default
-    ``3 * uops``, matching the report's convention).  ``apps`` limits the
-    suite to its first N applications (useful for quick sweeps/tests).
+    group: List[ResolvedDesign]
+    baseline: ResolvedDesign
+    profiles: List
+    specs: List
+    pending: object  # repro.engine.sweep.PendingSpecs
+    multicore: bool
+    grid: int
+
+
+class PendingPointEvaluation:
+    """In-flight :func:`evaluate_points` batch (from :func:`submit_points`).
+
+    The engine specs are already submitted to the worker pool; the
+    power/thermal post-processing — cheap, parent-side — happens at
+    :meth:`result` time.  This is what lets ``repro explore`` overlap
+    chunk N's simulation with chunk N±1's expansion and store commits.
+    """
+
+    def __init__(self, resolved: List[ResolvedDesign],
+                 groups: List[_PendingGroup]) -> None:
+        self._resolved = resolved
+        self._groups = groups
+        self._final: Optional[List[PointEvaluation]] = None
+
+    @property
+    def done(self) -> bool:
+        return self._final is not None
+
+    def result(self) -> List[PointEvaluation]:
+        """Wait for the simulations and assemble evaluations in point order."""
+        if self._final is not None:
+            return self._final
+        evaluations: Dict[str, PointEvaluation] = {}
+        for group in self._groups:
+            evaluations.update(_finish_group(group))
+        self._final = [
+            evaluations[design.point.name] for design in self._resolved
+        ]
+        return self._final
+
+    def abandon(self) -> None:
+        """Drop the batch without waiting (releases pool/shm resources)."""
+        for group in self._groups:
+            group.pending.abandon()
+
+
+def submit_points(points: Sequence, *,
+                  uops: int = 4000,
+                  multicore_uops: Optional[int] = None,
+                  seed: int = 1234,
+                  grid: int = 8,
+                  engine=None,
+                  apps: Optional[int] = None) -> PendingPointEvaluation:
+    """Start evaluating design points; return the in-flight batch.
+
+    Point resolution, the config-name clash check and spec submission
+    happen here on the calling thread; the suite sweeps run in the
+    engine's worker pool until :meth:`PendingPointEvaluation.result` is
+    called.  ``evaluate_points(...)`` is exactly
+    ``submit_points(...).result()`` — same specs, same order, same
+    results.
     """
     from repro.engine.sweep import get_engine
 
@@ -185,28 +236,57 @@ def evaluate_points(points: Sequence, *,
             )
         seen[design.config.name] = design.point.name
 
-    evaluations: Dict[str, PointEvaluation] = {}
-    for multicore in (False, True):
-        group = [d for d in resolved if (d.config.num_cores > 1) == multicore]
-        if not group:
-            continue
-        evaluations.update(
-            _evaluate_group(
-                group,
-                engine=engine,
-                multicore=multicore,
-                uops=multicore_uops if multicore else uops,
-                seed=seed,
-                grid=grid,
-                apps=apps,
+    groups: List[_PendingGroup] = []
+    try:
+        for multicore in (False, True):
+            group = [
+                d for d in resolved if (d.config.num_cores > 1) == multicore
+            ]
+            if not group:
+                continue
+            groups.append(
+                _submit_group(
+                    group,
+                    engine=engine,
+                    multicore=multicore,
+                    uops=multicore_uops if multicore else uops,
+                    seed=seed,
+                    grid=grid,
+                    apps=apps,
+                )
             )
-        )
-    return [evaluations[design.point.name] for design in resolved]
+    except BaseException:
+        for pending_group in groups:
+            pending_group.pending.abandon()
+        raise
+    return PendingPointEvaluation(resolved, groups)
 
 
-def _evaluate_group(group: List[ResolvedDesign], *, engine, multicore: bool,
-                    uops: int, seed: int, grid: int,
-                    apps: Optional[int]) -> Dict[str, PointEvaluation]:
+def evaluate_points(points: Sequence, *,
+                    uops: int = 4000,
+                    multicore_uops: Optional[int] = None,
+                    seed: int = 1234,
+                    grid: int = 8,
+                    engine=None,
+                    apps: Optional[int] = None) -> List[PointEvaluation]:
+    """Evaluate design points end-to-end through the experiment engine.
+
+    ``points`` mixes registered names and :class:`DesignPoint` objects.
+    ``uops`` is the measured trace length per single-core run;
+    ``multicore_uops`` the total work per parallel run (default
+    ``3 * uops``, matching the report's convention).  ``apps`` limits the
+    suite to its first N applications (useful for quick sweeps/tests).
+    """
+    return submit_points(
+        points, uops=uops, multicore_uops=multicore_uops, seed=seed,
+        grid=grid, engine=engine, apps=apps,
+    ).result()
+
+
+def _submit_group(group: List[ResolvedDesign], *, engine, multicore: bool,
+                  uops: int, seed: int, grid: int,
+                  apps: Optional[int]) -> _PendingGroup:
+    from repro.engine.sweep import suite_specs
     from repro.workloads.parallel import parallel_profiles
     from repro.workloads.spec import spec_profiles
 
@@ -223,12 +303,26 @@ def _evaluate_group(group: List[ResolvedDesign], *, engine, multicore: bool,
         design.config for design in group
         if design.config != baseline.config
     ]
-    if multicore:
-        _, runs = engine.multicore_runs(uops, seed=seed, configs=configs,
-                                        profiles=profiles)
-    else:
-        _, runs = engine.single_core_runs(uops, seed=seed, configs=configs,
-                                          profiles=profiles)
+    # The exact spec list single_core_runs/multicore_runs would build —
+    # same cache keys, same result order, bit-identical evaluations.
+    specs = suite_specs("multicore" if multicore else "single",
+                        uops, seed, configs, profiles)
+    return _PendingGroup(
+        group=group, baseline=baseline, profiles=list(profiles), specs=specs,
+        pending=engine.submit_specs(specs), multicore=multicore, grid=grid,
+    )
+
+
+def _finish_group(pending_group: _PendingGroup) -> Dict[str, PointEvaluation]:
+    group = pending_group.group
+    baseline = pending_group.baseline
+    profiles = pending_group.profiles
+    multicore = pending_group.multicore
+    grid = pending_group.grid
+    flat = pending_group.pending.result()
+    runs: Dict[str, Dict[str, object]] = {}
+    for spec, result in zip(pending_group.specs, flat):
+        runs.setdefault(spec.profile.name, {})[spec.config.name] = result
 
     base_model = baseline.power_model()
     out: Dict[str, PointEvaluation] = {}
@@ -290,8 +384,10 @@ def print_sweep_summary(evaluations: Sequence[PointEvaluation]) -> None:
 __all__ = [
     "INTERVAL_CHECK_THRESHOLD",
     "MULTICORE_BASELINE_CORES",
+    "PendingPointEvaluation",
     "PointEvaluation",
     "evaluate_points",
     "interval_crosscheck",
     "print_sweep_summary",
+    "submit_points",
 ]

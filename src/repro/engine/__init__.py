@@ -23,8 +23,14 @@ from repro.engine.cache import (
     make_key,
     memoized,
 )
+from repro.engine.pool import (
+    persistent_pool_enabled,
+    pool_stats,
+    shutdown_pool,
+)
 from repro.engine.sweep import (
     ExperimentEngine,
+    PendingSpecs,
     SimSpec,
     configure,
     execute_spec,
@@ -34,6 +40,7 @@ from repro.engine.sweep import (
 __all__ = [
     "CacheStats",
     "ExperimentEngine",
+    "PendingSpecs",
     "ResultCache",
     "SimSpec",
     "code_fingerprint",
@@ -42,4 +49,7 @@ __all__ = [
     "get_engine",
     "make_key",
     "memoized",
+    "persistent_pool_enabled",
+    "pool_stats",
+    "shutdown_pool",
 ]

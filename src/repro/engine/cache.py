@@ -160,6 +160,16 @@ class ResultCache:
                         stacklevel=2,
                     )
 
+    def put_many(self, items) -> None:
+        """Store a batch of ``(key, value)`` pairs (one kernel group).
+
+        Same semantics as :meth:`put` per pair — ``stores`` counting,
+        disk degradation — batched so a pipelined sweep commits a whole
+        unit's results in one call.
+        """
+        for key, value in items:
+            self.put(key, value)
+
     def _put_disk(self, key: str, value: Any) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)

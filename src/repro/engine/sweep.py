@@ -20,7 +20,6 @@ import dataclasses
 import os
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.configs import CoreConfig
@@ -28,6 +27,7 @@ from repro.design.resolve import (
     paper_multicore_configs,
     paper_single_core_configs,
 )
+from repro.engine import pool as worker_pool
 from repro.engine.cache import ResultCache, make_key
 from repro.lru import LruMemo
 from repro.obs.telemetry import EngineTelemetry
@@ -175,6 +175,35 @@ def _timed_execute_unit(unit):
             _kernel_path(stats), shm_used)
 
 
+def _copy_unit(unit) -> tuple:
+    """The self-contained (copy-path) form of a work unit.
+
+    Used for crash retries: a ``("shm", handle, specs)`` unit degrades
+    to ``("copy", specs)`` — the crash may have been the shared-memory
+    attach itself, and the copy path derives everything locally.
+    """
+    if unit[0] == "shm":
+        return ("copy", unit[2])
+    return unit
+
+
+def suite_specs(mode: str, uops: int, seed: int,
+                configs: Sequence[CoreConfig],
+                profiles: Sequence[AppProfile]) -> List[SimSpec]:
+    """The canonical spec list for a (configs x profiles) suite sweep.
+
+    One ordering for every caller — ``single_core_runs``,
+    ``multicore_runs`` and the design-sweep submit path — so a batch
+    built here is bit-identical (cache keys, result order, telemetry)
+    no matter which entry point requested it.
+    """
+    return [
+        SimSpec(mode, config, profile, uops, seed)
+        for profile in profiles
+        for config in configs
+    ]
+
+
 def _group_missing(specs: Sequence[SimSpec],
                    missing: Sequence[int]) -> List[List[int]]:
     """Partition cache-missing spec indices into kernel batch groups.
@@ -190,6 +219,100 @@ def _group_missing(specs: Sequence[SimSpec],
         key = (spec.mode, spec.profile, spec.uops, spec.seed)
         groups.setdefault(key, []).append(index)
     return list(groups.values())
+
+
+# -- in-flight batches --------------------------------------------------------
+
+class PendingSpecs:
+    """One in-flight ``run_specs`` batch: futures in the worker pool.
+
+    Returned by :meth:`ExperimentEngine.submit_specs`.  While the pool
+    evaluates the units, the submitting thread is free to do other work
+    (expand the next explore chunk, post-process the previous one, write
+    stores); :meth:`result` then blocks on the futures and finishes the
+    batch — cache stores, telemetry, deterministic spec-order assembly —
+    on the calling thread, so no engine state is ever touched
+    concurrently.  Batches submitted with ``jobs == 1`` (or a single
+    work unit) are executed eagerly and come back already resolved.
+    """
+
+    def __init__(self, engine: "ExperimentEngine",
+                 specs: Sequence[SimSpec], keys: List[str],
+                 results: List[object], missing: List[int],
+                 use_cache: bool, batch_start: float, workers: int,
+                 unit_indices: List[List[int]], units: List[tuple],
+                 futures: List[object], lease, published: List[object],
+                 timed: Optional[List[tuple]] = None) -> None:
+        self._engine = engine
+        self._specs = specs
+        self._keys = keys
+        self._results = results
+        self._missing = missing
+        self._use_cache = use_cache
+        self._batch_start = batch_start
+        self._workers = workers
+        self._unit_indices = unit_indices
+        self._units = units
+        self._futures = futures
+        self._lease = lease
+        self._published = published
+        self._timed = timed
+        self._cleaned = not futures
+        self._final: Optional[List[object]] = None
+
+    @property
+    def done(self) -> bool:
+        return self._final is not None
+
+    def result(self) -> List[object]:
+        """Wait for the batch and return results in spec order.
+
+        Idempotent; the first call performs the cache stores and
+        telemetry recording.  A worker crash (:class:`BrokenProcessPool`)
+        respawns the pool and retries each lost unit once on the copy
+        path — see :mod:`repro.engine.pool`.
+        """
+        if self._final is not None:
+            return self._final
+        if self._timed is None:
+            try:
+                self._timed = [
+                    self._lease.resolve(future, _timed_execute_unit,
+                                        (_copy_unit(unit),))
+                    for unit, future in zip(self._units, self._futures)
+                ]
+            finally:
+                self._cleanup()
+        self._final = self._engine._finish_batch(
+            specs=self._specs, keys=self._keys, results=self._results,
+            missing=self._missing, use_cache=self._use_cache,
+            batch_start=self._batch_start, workers=self._workers,
+            unit_indices=self._unit_indices, timed=self._timed,
+        )
+        return self._final
+
+    def abandon(self) -> None:
+        """Best-effort cleanup without waiting for results.
+
+        Cancels whatever has not started, releases the pool lease and
+        unlinks shared-memory publications.  Units already running in
+        workers finish on their own and are discarded; an unlinked
+        block stays mapped for workers that already attached, and a
+        worker whose attach fails degrades to the copy path — either
+        way nothing crashes and nothing leaks.
+        """
+        for future in self._futures:
+            future.cancel()
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        if self._cleaned:
+            return
+        self._cleaned = True
+        if self._lease is not None:
+            self._lease.close()
+        for publication in self._published:
+            publication.unlink()
 
 
 # -- the engine ---------------------------------------------------------------
@@ -227,6 +350,26 @@ class ExperimentEngine:
         serial-vs-parallel or kernel-vs-oracle comparison exercises two
         real executions rather than one execution and one cache hit.
         """
+        return self.submit_specs(specs, use_cache=use_cache).result()
+
+    def submit_specs(self, specs: Sequence[SimSpec],
+                     use_cache: bool = True) -> PendingSpecs:
+        """Start a batch of specs and return a :class:`PendingSpecs`.
+
+        Cache lookups, trace grouping and unit planning happen here on
+        the calling thread; the units themselves are submitted to the
+        shared persistent worker pool (:mod:`repro.engine.pool`) when
+        ``jobs > 1`` and more than one unit exists, so the caller can
+        overlap its own work — expanding the next chunk, committing the
+        previous one — with the evaluation.  With ``jobs == 1`` (or a
+        single unit) the batch executes eagerly and the returned pending
+        is already resolved.
+
+        Cache stores and telemetry land at :meth:`PendingSpecs.result`
+        time, on the resolving thread; a spec submitted twice before the
+        first batch resolves is therefore evaluated twice (pipelined
+        callers deduplicate up front, as ``repro.explore`` does).
+        """
         batch_start = time.perf_counter()
         keys = [spec.cache_key() for spec in specs]
         results: List[object] = [None] * len(specs)
@@ -241,7 +384,8 @@ class ExperimentEngine:
         else:
             missing = list(range(len(specs)))
         workers = 1
-        durations: Dict[int, float] = {}
+        unit_indices: List[List[int]] = []
+        timed: List[tuple] = []
         if missing:
             # Specs sharing a trace form one kernel batch: a group of N
             # configs costs one decode + one replay per geometry + N
@@ -252,42 +396,73 @@ class ExperimentEngine:
             groups = _group_missing(specs, missing)
             group_specs = [[specs[i] for i in group] for group in groups]
             published: List[object] = []
+            lease = None
             try:
                 units, unit_indices = self._plan_units(
                     groups, group_specs, published
                 )
                 if self.jobs > 1 and len(units) > 1:
                     workers = min(self.jobs, len(units))
-                    chunk = max(1, len(units) // (workers * 4))
-                    with ProcessPoolExecutor(max_workers=workers) as pool:
-                        timed = list(
-                            pool.map(_timed_execute_unit, units,
-                                     chunksize=chunk)
-                        )
-                else:
-                    timed = [_timed_execute_unit(unit) for unit in units]
-            finally:
-                # Publisher owns every block: unlink unconditionally so
-                # a worker crash can't leak /dev/shm segments.
+                    lease = worker_pool.PoolLease(workers)
+                    futures = [
+                        lease.submit(_timed_execute_unit, unit)
+                        for unit in units
+                    ]
+                    return PendingSpecs(
+                        self, specs, keys, results, missing, use_cache,
+                        batch_start, workers, unit_indices, units,
+                        futures, lease, published,
+                    )
+                timed = [_timed_execute_unit(unit) for unit in units]
+            except BaseException:
+                if lease is not None:
+                    lease.close()
                 for publication in published:
                     publication.unlink()
-            for indices, outcome in zip(unit_indices, timed):
-                fresh, seconds, used_kernel, path, shm_used = outcome
-                first = specs[indices[0]]
-                share = seconds / len(indices)
-                for index, value in zip(indices, fresh):
-                    results[index] = value
-                    if use_cache:
-                        self.cache.put(keys[index], value)
-                    durations[index] = share
-                self.telemetry.record_kernel_batch(
-                    mode=first.mode,
-                    width=len(indices),
-                    seconds=seconds,
-                    used_kernel=used_kernel,
-                    path=path,
-                    shm=shm_used,
+                raise
+            else:
+                # Publisher owns every block: the eager path is done
+                # with them; the pool path unlinks at resolve time.
+                for publication in published:
+                    publication.unlink()
+        final = self._finish_batch(
+            specs=specs, keys=keys, results=results, missing=missing,
+            use_cache=use_cache, batch_start=batch_start, workers=workers,
+            unit_indices=unit_indices, timed=timed,
+        )
+        pending = PendingSpecs(
+            self, specs, keys, results, missing, use_cache, batch_start,
+            workers, unit_indices, [], [], None, [], timed=timed,
+        )
+        pending._final = final
+        return pending
+
+    def _finish_batch(self, *, specs: Sequence[SimSpec], keys: List[str],
+                      results: List[object], missing: List[int],
+                      use_cache: bool, batch_start: float, workers: int,
+                      unit_indices: List[List[int]],
+                      timed: List[tuple]) -> List[object]:
+        """Assemble unit outcomes into spec order; store + record."""
+        durations: Dict[int, float] = {}
+        for indices, outcome in zip(unit_indices, timed):
+            fresh, seconds, used_kernel, path, shm_used = outcome
+            first = specs[indices[0]]
+            share = seconds / len(indices)
+            for index, value in zip(indices, fresh):
+                results[index] = value
+                durations[index] = share
+            if use_cache:
+                self.cache.put_many(
+                    (keys[index], results[index]) for index in indices
                 )
+            self.telemetry.record_kernel_batch(
+                mode=first.mode,
+                width=len(indices),
+                seconds=seconds,
+                used_kernel=used_kernel,
+                path=path,
+                shm=shm_used,
+            )
         telemetry = self.telemetry
         telemetry.record_batch(
             specs=len(specs),
@@ -396,11 +571,7 @@ class ExperimentEngine:
             else paper_single_core_configs()
         )
         profiles = list(profiles) if profiles is not None else spec_profiles()
-        specs = [
-            SimSpec("single", config, profile, uops, seed)
-            for profile in profiles
-            for config in configs
-        ]
+        specs = suite_specs("single", uops, seed, configs, profiles)
         flat = self.run_specs(specs)
         runs: Dict[str, Dict[str, SimResult]] = {}
         for spec, result in zip(specs, flat):
@@ -420,11 +591,7 @@ class ExperimentEngine:
             else paper_multicore_configs()
         )
         profiles = list(profiles) if profiles is not None else parallel_profiles()
-        specs = [
-            SimSpec("multicore", config, profile, total_uops, seed)
-            for profile in profiles
-            for config in configs
-        ]
+        specs = suite_specs("multicore", total_uops, seed, configs, profiles)
         flat = self.run_specs(specs)
         runs: Dict[str, Dict[str, MulticoreResult]] = {}
         for spec, result in zip(specs, flat):

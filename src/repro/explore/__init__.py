@@ -31,6 +31,7 @@ from repro.explore.frontier import (
 )
 from repro.explore.runner import (
     DEFAULT_CHUNK_SIZE,
+    DEFAULT_IN_FLIGHT,
     ExploreReport,
     explore,
 )
@@ -72,6 +73,7 @@ GOLDEN_SPACE = SpaceSpec(
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_IN_FLIGHT",
     "GOLDEN_SPACE",
     "GOLDEN_SPACE_APPS",
     "OBJECTIVES",

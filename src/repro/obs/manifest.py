@@ -47,7 +47,12 @@ from repro.obs.timer import TimerSpan, recorded_spans
 #: v6 added the optional ``manycore`` section (tile-grid scenario
 #: summary: grid identity, NoC latency/contention, dropped barrier
 #: phases, peak temperature and wall-clock).
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v6"
+#: v7 extended the ``explore`` section with the pipelined runner's
+#: telemetry — ``in_flight`` (chunks submitted concurrently),
+#: ``points_per_second`` and ``pool_reuses`` (persistent worker-pool
+#: lease reuses) — plus an optional ``error`` field recorded when the
+#: run died mid-space (crash-safe explore manifests).
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v7"
 
 
 class ManifestError(ValueError):
@@ -298,6 +303,7 @@ _EXPLORE_FIELDS = {
     "kind": str,
     "store": (str, type(None)),
     "chunk_size": int,
+    "in_flight": int,
     "total_points": int,
     "unique_points": int,
     "evaluated": int,
@@ -306,6 +312,8 @@ _EXPLORE_FIELDS = {
     "chunks": int,
     "frontier_size": int,
     "seconds": (int, float),
+    "points_per_second": (int, float),
+    "pool_reuses": int,
 }
 _MANYCORE_FIELDS = {
     "scenario": str,
@@ -445,11 +453,16 @@ def validate_manifest(manifest: Any) -> List[str]:
         _check_record(explore, _EXPLORE_FIELDS, "explore", problems)
         if isinstance(explore, dict):
             for name in ("total_points", "unique_points", "evaluated",
-                         "skipped", "duplicates", "chunks", "frontier_size"):
+                         "skipped", "duplicates", "chunks", "frontier_size",
+                         "in_flight", "pool_reuses"):
                 value = explore.get(name)
                 if isinstance(value, int) and not isinstance(value, bool) \
                         and value < 0:
                     problems.append(f"explore.{name}: negative count {value}")
+            # ``error`` is optional: present (as a string) only when the
+            # run died mid-space and recorded a partial summary.
+            if "error" in explore:
+                _typecheck(explore["error"], str, "explore.error", problems)
     if "manycore" in manifest:
         manycore = manifest["manycore"]
         _check_record(manycore, _MANYCORE_FIELDS, "manycore", problems)

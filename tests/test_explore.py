@@ -274,6 +274,37 @@ class TestResultStore:
         store = ResultStore(path)
         assert "k1" not in store
 
+    def test_append_many_bytes_match_append(self, tmp_path):
+        # Group commit changes the fsync schedule, never the bytes.
+        one = ResultStore(tmp_path / "one.jsonl")
+        many = ResultStore(tmp_path / "many.jsonl")
+        records = [self._record(f"k{i}", name=f"p{i}") for i in range(4)]
+        for record in records:
+            one.append(record)
+        many.append_many(records[:3])
+        many.append_many([])  # an empty group commit is a no-op
+        many.append_many(records[3:])
+        one.close()
+        many.close()
+        assert (tmp_path / "one.jsonl").read_bytes() \
+            == (tmp_path / "many.jsonl").read_bytes()
+        assert many.line_count() == 4
+        assert len(ResultStore(tmp_path / "many.jsonl")) == 4
+
+    def test_append_many_in_memory(self):
+        store = ResultStore()
+        store.append_many(self._record(f"k{i}") for i in range(3))
+        assert len(store) == 3 and store.line_count() == 0
+
+    def test_close_is_idempotent_and_reopens(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        with ResultStore(path) as store:
+            store.append(self._record("k1"))
+            store.close()
+            store.close()  # idempotent
+            store.append(self._record("k2"))  # reopens transparently
+        assert ResultStore(path).line_count() == 2
+
     def test_point_key_ignores_identity_fields(self):
         space = small_cartesian()
         a, b = list(space.points(limit=2))[:2]
@@ -432,6 +463,85 @@ class TestExploreRunner:
                        for problem in validate_manifest(manifest))
         finally:
             clear_explore()
+
+
+class TestPipelinedExplore:
+    """Cross-chunk pipelining (``in_flight`` > 1): byte-identical store
+    and frontier versus the serial loop, chunk-atomic crash commits, and
+    resume with zero re-evaluation of committed work."""
+
+    def test_bad_in_flight(self):
+        with pytest.raises(ValueError, match="in_flight"):
+            explore(small_cartesian(), in_flight=0)
+
+    def test_pipelined_store_is_byte_identical_to_serial(self, tmp_path):
+        from repro.engine.sweep import ExperimentEngine
+        from repro.golden.serialize import canonical_dumps
+
+        kwargs = dict(limit=9, chunk_size=3, **FAST)
+        serial_path = tmp_path / "serial.jsonl"
+        piped_path = tmp_path / "piped.jsonl"
+        serial = explore(GOLDEN_SPACE, store_path=serial_path, in_flight=1,
+                         engine=ExperimentEngine(jobs=1, cache_dir=None),
+                         **kwargs)
+        piped = explore(GOLDEN_SPACE, store_path=piped_path, in_flight=3,
+                        engine=ExperimentEngine(jobs=2, cache_dir=None),
+                        **kwargs)
+        assert serial.chunks == piped.chunks == 3
+        assert serial.in_flight == 1 and piped.in_flight == 3
+        assert piped_path.read_bytes() == serial_path.read_bytes()
+        assert canonical_dumps(piped.frontier) \
+            == canonical_dumps(serial.frontier)
+        assert piped.points_per_second > 0
+
+    def test_kill_between_chunks_resumes_without_reevaluation(
+            self, tmp_path):
+        from repro.engine.sweep import ExperimentEngine
+        from repro.obs import clear_explore, recorded_explore
+
+        path = tmp_path / "store.jsonl"
+        kwargs = dict(limit=9, chunk_size=3, **FAST)
+
+        class Boom(RuntimeError):
+            pass
+
+        def die_after_first_chunk(update):
+            if update["chunk"] == 1:
+                raise Boom("killed between chunks")
+
+        clear_explore()
+        try:
+            with pytest.raises(Boom):
+                explore(GOLDEN_SPACE, store_path=path, in_flight=2,
+                        engine=ExperimentEngine(jobs=2, cache_dir=None),
+                        progress=die_after_first_chunk, **kwargs)
+            # The aborted run still left a validating manifest section,
+            # with the failure recorded.
+            aborted = recorded_explore()
+            assert aborted is not None
+            assert aborted["error"] == "Boom: killed between chunks"
+            assert aborted["chunks"] == 1
+        finally:
+            clear_explore()
+
+        # Group commit is chunk-atomic: the committed chunk survived the
+        # crash in full, the abandoned in-flight chunk left no lines.
+        assert ResultStore(path).line_count() == 3
+
+        resumed = explore(GOLDEN_SPACE, store_path=path, in_flight=2,
+                          engine=ExperimentEngine(jobs=2, cache_dir=None),
+                          **kwargs)
+        assert resumed.skipped == 3  # nothing committed was re-run
+        assert resumed.evaluated == 6
+        assert resumed.error is None
+        assert ResultStore(path).line_count() == 9
+
+    def test_in_flight_one_is_the_serial_loop(self, tmp_path,
+                                              fresh_engine):
+        report = explore(small_cartesian(), chunk_size=3, in_flight=1,
+                         store_path=tmp_path / "s.jsonl",
+                         engine=fresh_engine, **FAST)
+        assert report.evaluated == 4 and report.chunks == 2
 
 
 class TestGoldenSpace:

@@ -185,8 +185,8 @@ def test_publish_failure_keeps_copy_path(monkeypatch):
     assert all(not r.shm for r in engine.telemetry.kernel_batches)
 
 
-def test_engine_unlinks_when_execution_raises(monkeypatch):
-    from repro.engine import sweep as sweep_module
+def test_engine_unlinks_when_submission_raises(monkeypatch):
+    from repro.engine import pool as worker_pool
 
     published = []
     original = shm.publish_group
@@ -196,23 +196,24 @@ def test_engine_unlinks_when_execution_raises(monkeypatch):
         published.append(publication)
         return publication
 
-    class ExplodingPool:
-        def __init__(self, *args, **kwargs):
-            pass
-
-        def __enter__(self):
-            return self
-
-        def __exit__(self, *exc):
-            return False
-
-        def map(self, *args, **kwargs):
-            raise RuntimeError("worker pool died")
+    def exploding_submit(self, fn, *args):
+        raise RuntimeError("worker pool died")
 
     monkeypatch.setattr(shm, "publish_group", tracking_publish)
-    monkeypatch.setattr(sweep_module, "ProcessPoolExecutor", ExplodingPool)
+    monkeypatch.setattr(worker_pool.PoolLease, "submit", exploding_submit)
     engine = ExperimentEngine(jobs=2, cache_dir=None)
     with pytest.raises(RuntimeError):
         engine.run_specs(_wide_specs(width=8, uops=600), use_cache=False)
     assert published  # the shm path was actually planned
     assert all(not _block_exists(p.handle) for p in published)
+
+
+def test_abandoned_batch_unlinks_publications():
+    specs = _wide_specs(width=12, uops=600)
+    engine = ExperimentEngine(jobs=2, cache_dir=None)
+    pending = engine.submit_specs(specs, use_cache=False)
+    assert not pending.done
+    pending.abandon()
+    leftovers = [f for f in os.listdir("/dev/shm") if f.startswith("psm_")]
+    assert leftovers == []
+    pending.abandon()  # idempotent
