@@ -47,6 +47,15 @@ Sections
     pool — points/sec for both modes, byte-identity of the two stores,
     and a zero-re-evaluation resume check.  CI asserts the pipelined
     mode is at least as fast as the serial one.
+``serve``
+    ``repro serve`` under load: one cold CLI sweep (interpreter start +
+    imports + evaluation — the per-request price before the server
+    existed) vs N concurrent HTTP clients hammering the same request at
+    a warm in-process server.  Reports both request rates, the
+    throughput ratio, and a byte-identity audit: every served response
+    must match the serial in-process reference (modulo the per-request
+    manifest's timing/telemetry).  CI asserts warm throughput is at
+    least 5x the cold-CLI rate with zero divergent responses.
 ``manycore``
     One heterogeneous tile-grid scenario (``repro manycore``) through
     the batched kernel and again through the full OOO oracle — the two
@@ -556,6 +565,109 @@ def bench_explore_pipeline(samples: int, uops: int, apps: int,
     }
 
 
+def bench_serve(uops: int, clients: int, requests_per_client: int) -> dict:
+    """Warm served request rate vs the cold-CLI price, plus identity.
+
+    The cold baseline is one real ``python -m repro sweep`` subprocess —
+    interpreter start, imports, cold caches — because that is what every
+    request cost before the server existed.  The server then takes
+    ``clients`` concurrent threads, ``requests_per_client`` requests
+    each, against a warm cache; every response's identity payload
+    (endpoint + normalised request + results, i.e. everything except the
+    per-request timing/telemetry manifest) must be byte-identical to the
+    serial in-process reference.
+    """
+    import subprocess
+    import threading
+
+    from repro.engine.sweep import ExperimentEngine
+    from repro.golden.serialize import canonical_dumps
+    from repro.serve import (
+        ReproServer,
+        identity_payload,
+        request_json,
+        serial_reference,
+    )
+
+    body = {"points": ["Base", "M3D-Het"], "uops": uops}
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    with timer("serve.cold_cli") as cold_span:
+        subprocess.run(
+            [sys.executable, "-m", "repro", "--uops", str(uops),
+             "sweep", "Base,M3D-Het"],
+            check=True, capture_output=True, env=env, cwd=REPO_ROOT,
+        )
+    cold_seconds = cold_span.seconds
+
+    reference = canonical_dumps(serial_reference("/sweep", dict(body)))
+
+    total = clients * requests_per_client
+    responses = [None] * total
+    errors = []
+    server = ReproServer(
+        port=0,
+        engine=ExperimentEngine(jobs=1, cache_dir=None),
+        queue_size=total + 8,
+        warm_workers=False,
+    )
+    with server:
+        request_json(server.port, "POST", "/sweep", dict(body))  # warm pass
+
+        def client(index: int) -> None:
+            try:
+                for j in range(requests_per_client):
+                    status, payload = request_json(
+                        server.port, "POST", "/sweep", dict(body)
+                    )
+                    if status != 200:
+                        raise RuntimeError(f"status {status}: {payload}")
+                    responses[index * requests_per_client + j] = payload
+            except Exception as exc:  # noqa: BLE001 — reported below
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        with timer("serve.warm_load") as load_span:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        section = server.serve_section()
+
+    assert not errors, f"serve load generator failed: {errors[:3]}"
+    divergent = sum(
+        1 for payload in responses
+        if canonical_dumps(identity_payload(payload)) != reference
+    )
+    load_seconds = load_span.seconds
+    cold_rate = 1.0 / max(cold_seconds, 1e-9)
+    warm_rate = total / max(load_seconds, 1e-9)
+    return {
+        "uops": uops,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": total,
+        "cold_cli_seconds": round(cold_seconds, 3),
+        "cold_requests_per_second": round(cold_rate, 2),
+        "warm_load_seconds": round(load_seconds, 3),
+        "warm_requests_per_second": round(warm_rate, 2),
+        "throughput_vs_cold": round(warm_rate / cold_rate, 1),
+        "divergent_responses": divergent,
+        "served": section["requests"],
+        "rejected": section["rejected"],
+        "cache_hit_ratio": round(section["cache_hit_ratio"], 4),
+        "mean_wait_seconds": round(
+            section["wait_seconds"] / max(section["requests"], 1), 4
+        ),
+        "mean_service_seconds": round(
+            section["service_seconds"] / max(section["requests"], 1), 4
+        ),
+    }
+
+
 def bench_manycore(scenario: str, uops: int, apps: int,
                    base_grid: int) -> dict:
     """Tile-grid scenario wall-clock plus kernel/oracle equivalence.
@@ -664,6 +776,7 @@ def main() -> None:
                      crossover_uops=400, crossover_repeats=1,
                      explore_samples=24, explore_uops=400, explore_apps=2,
                      pipeline_chunk=6,
+                     serve_uops=300, serve_clients=8, serve_requests=2,
                      manycore_scenario="mixed-2x2", manycore_uops=3000,
                      manycore_apps=2, manycore_grid=8)
     else:
@@ -672,6 +785,7 @@ def main() -> None:
                      crossover_uops=2000, crossover_repeats=3,
                      explore_samples=200, explore_uops=2000, explore_apps=3,
                      pipeline_chunk=16,
+                     serve_uops=1000, serve_clients=8, serve_requests=4,
                      manycore_scenario="mixed-4x4", manycore_uops=24000,
                      manycore_apps=3, manycore_grid=12)
 
@@ -773,6 +887,19 @@ def main() -> None:
           f"re-evaluated {record['explore_pipeline']['resume_evaluated']}, "
           f"frontier identical: "
           f"{record['explore_pipeline']['frontier_identical']}")
+
+    print(f"benchmarking serve (clients={sizes['serve_clients']}, "
+          f"uops={sizes['serve_uops']}) ...")
+    record["serve"] = bench_serve(
+        sizes["serve_uops"], sizes["serve_clients"], sizes["serve_requests"]
+    )
+    print(f"  cold CLI {record['serve']['cold_cli_seconds']}s/request "
+          f"({record['serve']['cold_requests_per_second']}/s) vs warm "
+          f"server {record['serve']['warm_requests_per_second']}/s over "
+          f"{record['serve']['requests']} requests "
+          f"({record['serve']['throughput_vs_cold']}x), divergent "
+          f"responses: {record['serve']['divergent_responses']}, "
+          f"cache hit ratio {record['serve']['cache_hit_ratio']}")
 
     print(f"benchmarking manycore scenario "
           f"({sizes['manycore_scenario']}, "

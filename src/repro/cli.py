@@ -39,6 +39,13 @@ Commands
     (``--store PATH``), and ``--pareto`` for the frequency / energy /
     peak-temperature frontier.
 
+``serve``
+    Run the long-lived sweep service: an asyncio HTTP front end over
+    the persistent worker pool and the shared result cache.  ``POST
+    /sweep``, ``POST /points`` and ``POST /validate`` answer with run
+    manifests; ``GET /healthz`` / ``GET /stats`` are the probes.
+    ``--port 0`` binds an ephemeral port (printed on startup).
+
 ``manycore <scenario>``
     Evaluate a heterogeneous tile-grid scenario
     (:class:`~repro.design.grid.TileGrid`): a registered scenario name
@@ -273,6 +280,33 @@ def cmd_explore(args: argparse.Namespace) -> None:
               f"(rerun with --pareto to print)")
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    from repro.obs import record_serve
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        service_threads=args.service_threads,
+    )
+    server.start()
+    print(f"serving on http://{server.host}:{server.port} "
+          f"(queue {server.queue_size}, "
+          f"{server.service_threads} service thread"
+          f"{'s' if server.service_threads > 1 else ''}; "
+          f"POST /shutdown or Ctrl-C to stop)", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("draining...", flush=True)
+        server.stop(drain=True)
+    record_serve(server.serve_section())
+    snapshot = server.stats.snapshot()
+    print(f"served {snapshot['requests']} requests "
+          f"({snapshot['errors']} errors, {snapshot['rejected']} rejected)")
+
+
 def cmd_manycore(args: argparse.Namespace) -> None:
     import time
 
@@ -419,6 +453,22 @@ def main(argv=None) -> None:
     explore_parser.add_argument(
         "--pareto", action="store_true",
         help="print the frequency/energy/peak-temperature Pareto frontier")
+    serve_parser = add_command(
+        "serve", cmd_serve,
+        "run the long-lived sweep service (HTTP JSON API)")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8023,
+        help="bind port (default 8023; 0 = ephemeral, printed on startup)")
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=32, metavar="N",
+        help="bounded request queue; a full queue answers 429 (default 32)")
+    serve_parser.add_argument(
+        "--service-threads", type=int, default=1, metavar="N",
+        help="request service threads (default 1: the queue serialises "
+             "bookkeeping, --jobs parallelises the simulations)")
     manycore_parser = add_command(
         "manycore", cmd_manycore,
         "evaluate a heterogeneous tile-grid scenario",

@@ -1,0 +1,51 @@
+"""One home for the fsync/commit policy every durable store shares.
+
+Two persistence layers make durability promises: the explore
+:class:`~repro.explore.store.ResultStore` (fsync per append / per group
+commit) and the :class:`~repro.engine.cache.ResultCache` SQLite backend
+(``PRAGMA synchronous``).  Before this module each hard-coded its own
+literal; now both read the same switch, so "how durable is a commit?"
+has exactly one answer per process.
+
+``$REPRO_FSYNC=0`` turns the physical syncs off — writes still go
+through the OS page cache (a *process* crash loses nothing; only a
+*machine* crash can), which makes test suites and CI load generators
+dramatically cheaper on slow filesystems.  The default is on.
+
+The variable carries the ``REPRO_`` prefix on purpose: the persistent
+worker pool fingerprints that namespace, so flipping it mid-process
+respawns workers rather than leaving them on a stale policy.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: The environment switch shared by every durable store.
+FSYNC_ENV = "REPRO_FSYNC"
+
+
+def fsync_enabled() -> bool:
+    """``$REPRO_FSYNC=0`` disables physical syncs (test speed)."""
+    return os.environ.get(FSYNC_ENV, "1") != "0"
+
+
+def fsync_handle(handle) -> None:
+    """``os.fsync`` the (already flushed) handle, policy permitting."""
+    if fsync_enabled():
+        os.fsync(handle.fileno())
+
+
+def sqlite_synchronous() -> str:
+    """The ``PRAGMA synchronous`` level matching the shared policy.
+
+    ``NORMAL`` is the recommended WAL-mode setting: the log is synced at
+    checkpoint boundaries, so a power loss can drop the tail of recent
+    commits but never corrupts the database — the same "lose at most the
+    in-flight tail" contract the JSONL store makes.  ``OFF`` mirrors
+    ``$REPRO_FSYNC=0``.
+    """
+    return "NORMAL" if fsync_enabled() else "OFF"
+
+
+__all__ = ["FSYNC_ENV", "fsync_enabled", "fsync_handle", "sqlite_synchronous"]

@@ -12,8 +12,17 @@ Two layers:
 * an in-memory dictionary, shared by every sweep in one process — this is
   what lets figure6/7/8 reuse one single-core sweep and figure9/10 one
   multicore sweep;
-* an optional on-disk pickle layer (``cache_dir``), so repeated invocations
-  of the runner, the benchmarks and the CLI skip simulation entirely.
+* an optional on-disk SQLite layer (``cache_dir/cache.sqlite``), so
+  repeated invocations of the runner, the benchmarks, the CLI — and many
+  concurrent ``repro serve`` clients — skip simulation entirely.
+
+The disk layer runs in WAL journal mode: readers never block the (single)
+writer and a torn write can only ever lose the in-flight transaction,
+never corrupt committed rows — which is what makes one cache directory
+safe to share between a long-lived server and ad-hoc CLI processes.
+Keys are unchanged from the original pickle-per-key layout (the sha256
+hex of :func:`make_key`), and a legacy ``<k[:2]>/<key>.pkl`` directory is
+migrated into the database automatically on first open.
 """
 
 from __future__ import annotations
@@ -23,10 +32,13 @@ import hashlib
 import json
 import os
 import pickle
-import tempfile
+import sqlite3
+import threading
 import warnings
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.durability import sqlite_synchronous
 
 _FINGERPRINT: Optional[str] = None
 
@@ -91,9 +103,142 @@ class CacheStats:
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
 
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 on an untouched cache)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+#: Filename of the SQLite database inside ``cache_dir``.
+DB_FILENAME = "cache.sqlite"
+
+#: How long a writer waits on a contended database before giving up
+#: (milliseconds).  Contention is rare — commits are milliseconds — so
+#: this is a stall ceiling, not a latency floor.
+_BUSY_TIMEOUT_MS = 10_000
+
+
+class _SqliteLayer:
+    """The on-disk half of :class:`ResultCache`: one WAL-mode database.
+
+    One connection per :class:`ResultCache` instance, guarded by an
+    ``RLock`` so a multi-threaded server can share the cache object;
+    cross-*process* concurrency is SQLite's own WAL contract (concurrent
+    readers, one writer at a time, ``busy_timeout`` arbitration).
+
+    Values stay pickled — the schema is a single ``results(key TEXT
+    PRIMARY KEY, value BLOB)`` table, so the layer is a drop-in for the
+    old pickle-per-key directory with identical keys.
+    """
+
+    def __init__(self, cache_dir: Path) -> None:
+        self.cache_dir = cache_dir
+        self.path = cache_dir / DB_FILENAME
+        self.migrated_entries = 0
+        self._lock = threading.RLock()
+        self._conn = self._connect()
+        self._migrate_legacy_layout()
+
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            conn = self._open()
+        except sqlite3.DatabaseError:
+            # A corrupt/foreign file where the database should be: a
+            # cache is rebuildable by definition, so start over rather
+            # than failing every sweep from here on.
+            self.path.unlink(missing_ok=True)
+            conn = self._open()
+        return conn
+
+    def _open(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_MS / 1000,
+                               check_same_thread=False)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA synchronous={sqlite_synchronous()}")
+            conn.execute(f"PRAGMA busy_timeout={_BUSY_TIMEOUT_MS}")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                "key TEXT PRIMARY KEY, value BLOB NOT NULL)"
+            )
+            conn.commit()
+        except BaseException:
+            conn.close()
+            raise
+        return conn
+
+    def _migrate_legacy_layout(self) -> None:
+        """Fold an old pickle-per-key directory into the database.
+
+        Each ``<k[:2]>/<key>.pkl`` blob is inserted under its stem (the
+        keys are unchanged, so no re-hashing), then unlinked; emptied
+        shard directories are removed.  ``INSERT OR IGNORE`` keeps a
+        database row authoritative over a stale file, and an unreadable
+        file is simply dropped — it was a miss in the old layout too.
+        """
+        legacy = sorted(self.cache_dir.rglob("*.pkl"))
+        if not legacy:
+            return
+        with self._lock, self._conn:
+            for path in legacy:
+                try:
+                    blob = path.read_bytes()
+                except OSError:
+                    continue
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO results (key, value) VALUES (?, ?)",
+                    (path.stem, blob),
+                )
+                self.migrated_entries += 1
+                path.unlink(missing_ok=True)
+        for shard in {path.parent for path in legacy}:
+            if shard != self.cache_dir:
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            return False, None
+        try:
+            return True, pickle.loads(row[0])
+        except Exception:
+            # A corrupt blob is a miss; drop the row so it is not
+            # re-deserialised on every lookup.
+            with self._lock, self._conn:
+                self._conn.execute("DELETE FROM results WHERE key = ?",
+                                   (key,))
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (key, value) VALUES (?, ?)",
+                (key, blob),
+            )
+
+    def put_many(self, items: Iterable[Tuple[str, bytes]]) -> None:
+        """Commit pre-pickled ``(key, blob)`` pairs in one transaction."""
+        with self._lock, self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results (key, value) VALUES (?, ?)",
+                items,
+            )
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
 
 class ResultCache:
-    """Two-layer (memory + optional disk) pickle store for results."""
+    """Two-layer (memory + optional SQLite WAL) store for results."""
 
     def __init__(self, cache_dir: Optional[os.PathLike] = None,
                  max_memory_entries: int = 8192) -> None:
@@ -102,96 +247,119 @@ class ResultCache:
         self._memory: dict = {}
         self.stats = CacheStats()
         self._disk_warned = False
+        self._disk: Optional[_SqliteLayer] = None
+        self._lock = threading.RLock()
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._disk = _SqliteLayer(self.cache_dir)
+
+    @property
+    def migrated_entries(self) -> int:
+        """Legacy pickle files folded into the database on open."""
+        return self._disk.migrated_entries if self._disk is not None else 0
 
     # -- lookup ---------------------------------------------------------------
 
     def get(self, key: str) -> Tuple[bool, Any]:
         """Return ``(hit, value)``; consults memory first, then disk."""
-        memory = self._memory
-        if key in memory:
-            self.stats.memory_hits += 1
-            # Refresh recency: a hit entry moves to the back of the
-            # eviction queue (dicts preserve insertion order).
-            value = memory.pop(key)
-            memory[key] = value
-            return True, value
-        if self.cache_dir is not None:
-            path = self._path(key)
-            if path.exists():
+        with self._lock:
+            memory = self._memory
+            if key in memory:
+                self.stats.memory_hits += 1
+                # Refresh recency: a hit entry moves to the back of the
+                # eviction queue (dicts preserve insertion order).
+                value = memory.pop(key)
+                memory[key] = value
+                return True, value
+            if self._disk is not None:
                 try:
-                    with path.open("rb") as handle:
-                        value = pickle.load(handle)
-                except Exception:
-                    # A truncated/corrupt entry is a miss; drop it.
-                    path.unlink(missing_ok=True)
-                else:
+                    hit, value = self._disk.get(key)
+                except sqlite3.Error:
+                    hit, value = False, None
+                if hit:
                     self.stats.disk_hits += 1
                     self._remember(key, value)
                     return True, value
-        self.stats.misses += 1
-        return False, None
+            self.stats.misses += 1
+            return False, None
 
     def put(self, key: str, value: Any) -> None:
         """Store a result in memory and (if configured) on disk.
 
         Disk failures must not kill an otherwise-healthy sweep — neither
-        I/O failures (full disk, read-only cache directory, ...) nor
-        serialization failures (a result holding a lambda, a generator,
-        an open handle, ...).  Either way the store degrades to
-        memory-only with a one-time warning, and every failed write is
-        counted in ``stats.disk_put_failures``.
+        I/O failures (full disk, read-only cache directory, a locked
+        database, ...) nor serialization failures (a result holding a
+        lambda, a generator, an open handle, ...).  Either way the store
+        degrades to memory-only with a one-time warning, and every
+        failed write is counted in ``stats.disk_put_failures``.
         """
-        self.stats.stores += 1
-        self._remember(key, value)
-        if self.cache_dir is not None:
-            try:
-                self._put_disk(key, value)
-            except (OSError, pickle.PickleError, TypeError,
-                    AttributeError) as exc:
-                self.stats.disk_put_failures += 1
-                if not self._disk_warned:
-                    self._disk_warned = True
-                    warnings.warn(
-                        f"result cache: disk write to {self.cache_dir} "
-                        f"failed ({exc}); continuing memory-only",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(key, value)
+            if self._disk is not None:
+                try:
+                    self._disk.put(key, value)
+                except (sqlite3.Error, OSError, pickle.PickleError,
+                        TypeError, AttributeError) as exc:
+                    self._degrade(exc)
 
     def put_many(self, items) -> None:
         """Store a batch of ``(key, value)`` pairs (one kernel group).
 
         Same semantics as :meth:`put` per pair — ``stores`` counting,
-        disk degradation — batched so a pipelined sweep commits a whole
-        unit's results in one call.
+        disk degradation — but the disk half commits the whole batch in
+        one SQLite transaction, so a pipelined sweep pays one fsync per
+        unit instead of one per result.
         """
-        for key, value in items:
-            self.put(key, value)
-
-    def _put_disk(self, key: str, value: Any) -> None:
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Atomic publish: a concurrent reader sees either nothing or a
-        # complete pickle, never a partial write.
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        items = list(items)
+        with self._lock:
+            blobs = []
+            for key, value in items:
+                self.stats.stores += 1
+                self._remember(key, value)
+                if self._disk is not None:
+                    try:
+                        blobs.append(
+                            (key, pickle.dumps(
+                                value, protocol=pickle.HIGHEST_PROTOCOL)))
+                    except (pickle.PickleError, TypeError,
+                            AttributeError) as exc:
+                        self._degrade(exc)
+            if self._disk is not None and blobs:
+                try:
+                    self._disk.put_many(blobs)
+                except (sqlite3.Error, OSError) as exc:
+                    self.stats.disk_put_failures += len(blobs) - 1
+                    self._degrade(exc)
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (disk entries survive)."""
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
+
+    def close(self) -> None:
+        """Release the database connection (idempotent).
+
+        Long-lived owners (the server) close on shutdown; short-lived
+        processes can rely on interpreter teardown as before.
+        """
+        with self._lock:
+            if self._disk is not None:
+                self._disk.close()
+                self._disk = None
 
     # -- internals ------------------------------------------------------------
+
+    def _degrade(self, exc: BaseException) -> None:
+        self.stats.disk_put_failures += 1
+        if not self._disk_warned:
+            self._disk_warned = True
+            warnings.warn(
+                f"result cache: disk write to {self.cache_dir} "
+                f"failed ({exc}); continuing memory-only",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _remember(self, key: str, value: Any) -> None:
         memory = self._memory
@@ -206,10 +374,6 @@ class ResultCache:
             for stale in list(memory)[: self.max_memory_entries // 4]:
                 del memory[stale]
         memory[key] = value
-
-    def _path(self, key: str) -> Path:
-        assert self.cache_dir is not None
-        return self.cache_dir / key[:2] / f"{key}.pkl"
 
 
 def memoized(kind: str):

@@ -174,6 +174,26 @@ def worker_pids() -> List[int]:
         return sorted(processes.keys())
 
 
+def _warm_worker() -> int:
+    """Trivial task a worker runs to prove it is up (returns its pid)."""
+    return os.getpid()
+
+
+def warm_up(workers: int) -> List[int]:
+    """Force the shared pool to ``workers`` live processes, synchronously.
+
+    Submits one trivial task per requested worker and waits for all of
+    them, so callers that care about first-request latency (the server's
+    startup path) pay the spawn + import cost up front instead of on the
+    first client request.  Returns the pids that answered (deduplicated;
+    fewer than ``workers`` entries just means one process answered
+    twice, not a failure).
+    """
+    executor, _ = get_executor(workers)
+    futures = [executor.submit(_warm_worker) for _ in range(workers)]
+    return sorted({future.result() for future in futures})
+
+
 class PoolLease:
     """A borrowed executor for one batch of work-unit submissions.
 
@@ -249,5 +269,6 @@ __all__ = [
     "persistent_pool_enabled",
     "pool_stats",
     "shutdown_pool",
+    "warm_up",
     "worker_pids",
 ]

@@ -21,13 +21,16 @@ from repro.obs.manifest import (
     check_manifest,
     clear_explore,
     clear_manycore,
+    clear_serve,
     clear_validation,
     metrics_path,
     record_explore,
     record_manycore,
+    record_serve,
     record_validation,
     recorded_explore,
     recorded_manycore,
+    recorded_serve,
     recorded_validation,
     validate_manifest,
     write_manifest,
@@ -56,14 +59,17 @@ __all__ = [
     "check_manifest",
     "clear_explore",
     "clear_manycore",
+    "clear_serve",
     "clear_validation",
     "drain_spans",
     "metrics_path",
     "record_explore",
     "record_manycore",
+    "record_serve",
     "record_validation",
     "recorded_explore",
     "recorded_manycore",
+    "recorded_serve",
     "recorded_spans",
     "recorded_validation",
     "timer",

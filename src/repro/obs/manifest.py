@@ -19,7 +19,10 @@ Every entry point (``python -m repro``, the experiment runner,
   ``validation`` section added in schema v3;
 * the design-space exploration summary (``repro explore``), when one was
   recorded this process via :func:`record_explore` — the optional
-  ``explore`` section added in schema v5.
+  ``explore`` section added in schema v5;
+* the server telemetry (``repro serve``), when recorded this process via
+  :func:`record_serve` — the optional ``serve`` section added in
+  schema v8.
 
 :func:`validate_manifest` is a dependency-free structural validator
 (``python -m repro.obs <manifest.json>`` runs it from the command line;
@@ -52,7 +55,11 @@ from repro.obs.timer import TimerSpan, recorded_spans
 #: ``points_per_second`` and ``pool_reuses`` (persistent worker-pool
 #: lease reuses) — plus an optional ``error`` field recorded when the
 #: run died mid-space (crash-safe explore manifests).
-MANIFEST_SCHEMA_VERSION = "repro-manifest-v7"
+#: v8 added the optional ``serve`` section (``repro serve`` telemetry:
+#: request/rejection counts, queue depth, wait/service seconds, cache
+#: hit ratio) — present both on per-request response manifests and on
+#: the server process's own shutdown manifest.
+MANIFEST_SCHEMA_VERSION = "repro-manifest-v8"
 
 
 class ManifestError(ValueError):
@@ -134,6 +141,31 @@ def clear_manycore() -> None:
     _MANYCORE_SUMMARY = None
 
 
+# -- serve-summary capture ----------------------------------------------------
+
+#: The server telemetry recorded by the last ``repro serve`` activity in
+#: this process, if any (same capture pattern as the explore summary:
+#: repro.serve records here so this layer never imports repro.serve).
+_SERVE_SUMMARY: Optional[Dict[str, Any]] = None
+
+
+def record_serve(summary: Dict[str, Any]) -> None:
+    """Record a serve telemetry summary for the next manifest."""
+    global _SERVE_SUMMARY
+    _SERVE_SUMMARY = summary
+
+
+def recorded_serve() -> Optional[Dict[str, Any]]:
+    """The serve summary recorded this process (``None`` if none)."""
+    return _SERVE_SUMMARY
+
+
+def clear_serve() -> None:
+    """Forget the recorded serve summary (test isolation)."""
+    global _SERVE_SUMMARY
+    _SERVE_SUMMARY = None
+
+
 # -- construction -------------------------------------------------------------
 
 
@@ -208,6 +240,9 @@ def build_manifest(command: str, engine: Optional[object] = None,
     manycore = recorded_manycore()
     if manycore is not None:
         manifest["manycore"] = manycore
+    serve = recorded_serve()
+    if serve is not None:
+        manifest["serve"] = serve
     return manifest
 
 
@@ -314,6 +349,14 @@ _EXPLORE_FIELDS = {
     "seconds": (int, float),
     "points_per_second": (int, float),
     "pool_reuses": int,
+}
+_SERVE_FIELDS = {
+    "requests": int,
+    "rejected": int,
+    "queue_depth": int,
+    "wait_seconds": (int, float),
+    "service_seconds": (int, float),
+    "cache_hit_ratio": (int, float),
 }
 _MANYCORE_FIELDS = {
     "scenario": str,
@@ -474,6 +517,21 @@ def validate_manifest(manifest: Any) -> List[str]:
                         and value < 0:
                     problems.append(
                         f"manycore.{name}: negative count {value}")
+    if "serve" in manifest:
+        serve = manifest["serve"]
+        _check_record(serve, _SERVE_FIELDS, "serve", problems)
+        if isinstance(serve, dict):
+            for name in ("requests", "rejected", "queue_depth"):
+                value = serve.get(name)
+                if isinstance(value, int) and not isinstance(value, bool) \
+                        and value < 0:
+                    problems.append(f"serve.{name}: negative count {value}")
+            ratio = serve.get("cache_hit_ratio")
+            if isinstance(ratio, (int, float)) \
+                    and not isinstance(ratio, bool) \
+                    and not 0.0 <= ratio <= 1.0:
+                problems.append(
+                    f"serve.cache_hit_ratio: {ratio} outside [0, 1]")
     return problems
 
 

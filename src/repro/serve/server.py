@@ -1,0 +1,501 @@
+"""The asyncio HTTP front end: ``repro serve``.
+
+Architecture (DESIGN.md §15):
+
+* **One event loop in one daemon thread** accepts connections
+  (``asyncio.start_server``), parses a minimal HTTP/1.1 request
+  (request line, headers, ``Content-Length`` body; every response is
+  ``Connection: close``) and routes it.
+* **A bounded ``asyncio.Queue``** is the only admission path for the
+  compute endpoints (``/sweep``, ``/points``, ``/validate``): a full
+  queue answers 429 immediately, a draining server answers 503 — the
+  queue bound is the server's entire memory commitment to pending work.
+* **Service threads** (default **one**) pop tickets and run
+  :func:`~repro.serve.protocol.execute_request` on the shared
+  :class:`~repro.engine.sweep.ExperimentEngine` — whose worker pool is
+  where the actual parallelism lives.  One service thread is deliberate:
+  the engine's trace memo and telemetry are single-threaded by design,
+  so the queue serialises *bookkeeping* while the process pool
+  parallelises *simulation*.
+* **Responses are run manifests**: each reply carries the engine
+  manifest sliced to the request's own telemetry delta, plus a
+  ``serve`` section (schema v8) with queue depth, wait/service time and
+  the cache hit ratio for that request.
+* **Graceful drain**: ``stop(drain=True)`` (or ``POST /shutdown``)
+  stops admissions, lets queued tickets finish, waits for open
+  connections to flush their responses, then closes.
+
+The server is in-process embeddable (the concurrency tests and the load
+bench start it on an ephemeral port via ``ReproServer(port=0)``) and is
+what ``python -m repro serve`` runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.serve.protocol import (
+    SERVE_SCHEMA_VERSION,
+    ProtocolError,
+    execute_request,
+    parse_request,
+)
+from repro.serve.queue import RequestTicket, ServeStats
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Endpoints that go through the bounded queue.
+_QUEUED_ENDPOINTS = frozenset({"/sweep", "/points", "/validate"})
+
+
+class ReproServer:
+    """A long-lived sweep service over one experiment engine.
+
+    ``port=0`` binds an ephemeral port (read ``server.port`` after
+    :meth:`start`).  Use as a context manager in tests::
+
+        with ReproServer(port=0, engine=engine) as server:
+            status, body = request_json(server.port, "POST", "/sweep", {...})
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 engine=None, queue_size: int = 32,
+                 service_threads: int = 1,
+                 max_body_bytes: int = 1 << 20,
+                 warm_workers: bool = True) -> None:
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        if service_threads < 1:
+            raise ValueError("service_threads must be >= 1")
+        self.host = host
+        self.port = port
+        self.queue_size = queue_size
+        self.service_threads = service_threads
+        self.max_body_bytes = max_body_bytes
+        self.warm_workers = warm_workers
+        self.stats = ServeStats()
+        self._engine = engine
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._ready = threading.Event()
+        self._finished = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._drain_on_stop = True
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def engine(self):
+        if self._engine is None:
+            from repro.engine.sweep import get_engine
+
+            self._engine = get_engine()
+        return self._engine
+
+    def start(self) -> "ReproServer":
+        """Bind, spawn the loop thread, and (optionally) warm the pool.
+
+        Returns once the socket is listening and ``self.port`` is the
+        real bound port.
+        """
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        engine = self.engine  # resolve before the loop thread races us
+        if self.warm_workers and engine.jobs > 1:
+            from repro.engine.pool import persistent_pool_enabled, warm_up
+
+            if persistent_pool_enabled():
+                warm_up(engine.jobs)
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("server failed to start within 60s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") \
+                from self._startup_error
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop the server; with ``drain`` let queued work finish first."""
+        if self._loop is None or self._stop_event is None:
+            return
+        loop, event = self._loop, self._stop_event
+
+        def _signal() -> None:
+            self._draining = True
+            self._drain_on_stop = drain
+            event.set()
+
+        try:
+            loop.call_soon_threadsafe(_signal)
+        except RuntimeError:
+            return  # loop already closed
+        self.wait(timeout=timeout)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server has shut down (True when it has)."""
+        if self._thread is None:
+            return True
+        self._thread.join(timeout=timeout)
+        return not self._thread.is_alive()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop(drain=True)
+
+    # -- event loop -----------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._startup_error = exc
+        finally:
+            loop.close()
+            self._ready.set()
+            self._finished.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._stop_event = asyncio.Event()
+        executor = ThreadPoolExecutor(
+            max_workers=self.service_threads,
+            thread_name_prefix="repro-serve-worker")
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        dispatchers = [
+            asyncio.ensure_future(self._dispatch(executor))
+            for _ in range(self.service_threads)
+        ]
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            if self._drain_on_stop:
+                # Queued tickets drain via task_done; a ticket already
+                # popped into service is invisible to join(), so also
+                # wait for the in-flight count to hit zero.
+                await self._queue.join()
+                while self.stats.in_flight > 0:
+                    await asyncio.sleep(0.02)
+                if self._connections:
+                    # Admitted responses are written by connection tasks;
+                    # give them a bounded window to flush.
+                    await asyncio.wait(set(self._connections), timeout=10)
+        finally:
+            for task in dispatchers:
+                task.cancel()
+            await asyncio.gather(*dispatchers, return_exceptions=True)
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*list(self._connections),
+                                     return_exceptions=True)
+            executor.shutdown(wait=True)
+
+    async def _dispatch(self, executor: ThreadPoolExecutor) -> None:
+        """Pop tickets and service them on the executor, forever."""
+        assert self._queue is not None and self._loop is not None
+        while True:
+            ticket = await self._queue.get()
+            try:
+                status, payload = await self._loop.run_in_executor(
+                    executor, self._service, ticket)
+                ok = status == 200
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:
+                status, payload = self._error_payload(
+                    500, f"{type(exc).__name__}: {exc}")
+                ok = False
+            self.stats.note_completed(ticket, ok=ok)
+            if not ticket.future.done():
+                ticket.future.set_result((status, payload))
+            self._queue.task_done()
+
+    # -- request service (runs on a service thread) ---------------------------
+
+    def _service(self, ticket: RequestTicket) -> Tuple[int, Dict[str, Any]]:
+        ticket.started_at = time.monotonic()
+        engine = self.engine
+        telemetry = engine.telemetry
+        stats_before = (engine.cache.stats.hits, engine.cache.stats.misses)
+        marks = {
+            "batches": len(telemetry.batches),
+            "kernel_batches": len(telemetry.kernel_batches),
+            "specs": len(telemetry.spec_timings),
+        }
+        counter_marks = {
+            "stalls": dict(telemetry.stall_cycles),
+            "counters": dict(telemetry.counters),
+            "mem_level_counts": dict(telemetry.mem_level_counts),
+        }
+        from repro.obs import recorded_spans
+
+        timer_mark = len(recorded_spans())
+        try:
+            results = execute_request(ticket.endpoint, ticket.request,
+                                      engine)
+        except ProtocolError as exc:
+            ticket.finished_at = time.monotonic()
+            return self._error_payload(exc.status, str(exc))
+        ticket.finished_at = time.monotonic()
+        hits = engine.cache.stats.hits - stats_before[0]
+        lookups = hits + (engine.cache.stats.misses - stats_before[1])
+        manifest = self._request_manifest(
+            ticket, engine, marks, counter_marks, timer_mark,
+            cache_hit_ratio=hits / lookups if lookups else 0.0,
+        )
+        return 200, {
+            "schema": SERVE_SCHEMA_VERSION,
+            "status": "ok",
+            "endpoint": ticket.endpoint,
+            "request": ticket.request,
+            "results": results,
+            "manifest": manifest,
+        }
+
+    def _request_manifest(self, ticket: RequestTicket, engine,
+                          marks: Dict[str, int],
+                          counter_marks: Dict[str, Dict[str, float]],
+                          timer_mark: int,
+                          cache_hit_ratio: float) -> Dict[str, Any]:
+        """The engine manifest sliced to this request's telemetry delta.
+
+        The engine's telemetry accumulates for the server's lifetime;
+        responses carry only what *this* request added (otherwise
+        response N grows with all N-1 predecessors).  List sections are
+        sliced at the pre-request marks; counter maps are subtracted.
+        """
+        from repro.obs import build_manifest, recorded_spans
+
+        manifest = build_manifest(
+            f"serve {ticket.endpoint}", engine=engine,
+            timers=recorded_spans()[timer_mark:])
+        manifest["batches"] = manifest["batches"][marks["batches"]:]
+        manifest["specs"] = manifest["specs"][marks["specs"]:]
+        manifest["kernel"]["batches"] = \
+            manifest["kernel"]["batches"][marks["kernel_batches"]:]
+        for section in ("stalls", "mem_level_counts"):
+            before = counter_marks[section]
+            manifest[section] = {
+                key: value - before.get(key, 0)
+                for key, value in manifest[section].items()
+                if value - before.get(key, 0)
+            }
+        before = counter_marks["counters"]
+        manifest["counters"] = {
+            key: value - before.get(key, 0)
+            for key, value in manifest["counters"].items()
+        }
+        manifest["serve"] = {
+            "requests": 1,
+            "rejected": 0,
+            "queue_depth": ticket.queue_depth_at_enqueue,
+            "wait_seconds": ticket.wait_seconds,
+            "service_seconds": ticket.service_seconds,
+            "cache_hit_ratio": cache_hit_ratio,
+        }
+        return manifest
+
+    def serve_section(self) -> Dict[str, Any]:
+        """Aggregate lifetime ``serve`` section (the shutdown manifest)."""
+        depth = self._queue.qsize() if self._queue is not None else 0
+        return self.stats.serve_section(
+            queue_depth=depth,
+            cache_hit_ratio=self.engine.cache.stats.hit_ratio)
+
+    # -- HTTP plumbing (runs on the event loop) -------------------------------
+
+    def _error_payload(self, status: int,
+                       message: str) -> Tuple[int, Dict[str, Any]]:
+        return status, {
+            "schema": SERVE_SCHEMA_VERSION,
+            "status": "error",
+            "error": {"status": status, "message": message},
+        }
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            try:
+                status, payload = await self._handle_request(reader)
+            except ProtocolError as exc:
+                status, payload = self._error_payload(exc.status, str(exc))
+            except asyncio.TimeoutError:
+                status, payload = self._error_payload(
+                    408, "timed out reading the request")
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away; nothing to answer
+            body = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode()
+            writer.write(
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode() + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(
+            self, reader: asyncio.StreamReader) -> Tuple[int, Dict[str, Any]]:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=30)
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ProtocolError(400, "malformed request line")
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise ProtocolError(400, "bad Content-Length") from None
+        if length > self.max_body_bytes:
+            raise ProtocolError(
+                413, f"body of {length} bytes exceeds the "
+                     f"{self.max_body_bytes}-byte limit")
+        raw = await asyncio.wait_for(
+            reader.readexactly(length), timeout=30) if length else b""
+
+        if method == "GET":
+            return self._handle_get(path)
+        if method != "POST":
+            raise ProtocolError(405, f"unsupported method {method}")
+        if path == "/shutdown":
+            return self._handle_shutdown()
+        if path not in _QUEUED_ENDPOINTS:
+            raise ProtocolError(404, f"unknown endpoint {path!r}")
+        try:
+            body = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from None
+        request = parse_request(path, body)
+        return await self._enqueue(path, request)
+
+    def _handle_get(self, path: str) -> Tuple[int, Dict[str, Any]]:
+        assert self._queue is not None
+        if path == "/healthz":
+            return 200, {
+                "schema": SERVE_SCHEMA_VERSION,
+                "status": "draining" if self._draining else "ok",
+                "queue_depth": self._queue.qsize(),
+                "queue_size": self.queue_size,
+            }
+        if path == "/stats":
+            from repro.engine.pool import pool_stats
+
+            cache = self.engine.cache.stats
+            return 200, {
+                "schema": SERVE_SCHEMA_VERSION,
+                "status": "draining" if self._draining else "ok",
+                "queue_depth": self._queue.qsize(),
+                "queue_size": self.queue_size,
+                "serve": self.stats.snapshot(),
+                "cache": {
+                    "memory_hits": cache.memory_hits,
+                    "disk_hits": cache.disk_hits,
+                    "misses": cache.misses,
+                    "stores": cache.stores,
+                    "hit_ratio": cache.hit_ratio,
+                },
+                "pool": pool_stats(),
+            }
+        raise ProtocolError(404, f"unknown endpoint {path!r}")
+
+    def _handle_shutdown(self) -> Tuple[int, Dict[str, Any]]:
+        assert self._stop_event is not None
+        self._draining = True
+        self._drain_on_stop = True
+        self._stop_event.set()
+        return 200, {
+            "schema": SERVE_SCHEMA_VERSION,
+            "status": "draining",
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+        }
+
+    async def _enqueue(self, endpoint: str,
+                       request: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+        assert self._queue is not None and self._loop is not None
+        if self._draining:
+            raise ProtocolError(503, "server is draining")
+        ticket = RequestTicket(
+            endpoint=endpoint, request=request,
+            future=self._loop.create_future(),
+            queue_depth_at_enqueue=self._queue.qsize())
+        try:
+            self._queue.put_nowait(ticket)
+        except asyncio.QueueFull:
+            self.stats.note_rejected()
+            raise ProtocolError(
+                429, f"request queue full ({self.queue_size} pending); "
+                     f"retry later") from None
+        self.stats.note_admitted(ticket)
+        return await ticket.future
+
+
+def request_json(port: int, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 host: str = "127.0.0.1",
+                 timeout: float = 120.0) -> Tuple[int, Dict[str, Any]]:
+    """Minimal blocking JSON client (tests, the bench, simple scripts)."""
+    import http.client
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read().decode())
+    finally:
+        conn.close()
+
+
+__all__ = ["ReproServer", "request_json"]

@@ -81,14 +81,33 @@ class TestResultCache:
         assert second.stats.disk_hits == 1
 
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        import sqlite3
+
+        from repro.engine.cache import DB_FILENAME
+
         cache = ResultCache(tmp_path)
         cache.put("deadbeef", [1])
-        path = cache._path("deadbeef")
-        path.write_bytes(b"not a pickle")
+        cache.close()
+        with sqlite3.connect(tmp_path / DB_FILENAME) as conn:
+            conn.execute("UPDATE results SET value = ? WHERE key = ?",
+                         (b"not a pickle", "deadbeef"))
         fresh = ResultCache(tmp_path)
         hit, _ = fresh.get("deadbeef")
         assert not hit
-        assert not path.exists()  # the bad entry was dropped
+        # The bad row was dropped, not left to fail on every lookup.
+        with sqlite3.connect(tmp_path / DB_FILENAME) as conn:
+            rows = conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        assert rows == 0
+
+    def test_corrupt_database_file_is_rebuilt(self, tmp_path):
+        from repro.engine.cache import DB_FILENAME
+
+        (tmp_path / DB_FILENAME).write_bytes(b"this is not a database")
+        cache = ResultCache(tmp_path)  # must not raise
+        cache.put("deadbeef", [1])
+        fresh = ResultCache(tmp_path)
+        hit, value = fresh.get("deadbeef")
+        assert hit and value == [1]
 
     def test_memory_eviction_keeps_recent(self):
         cache = ResultCache(max_memory_entries=8)
@@ -100,19 +119,16 @@ class TestResultCache:
         assert not hit  # oldest quarter evicted
 
     def test_disk_full_degrades_to_memory_only(self, tmp_path, monkeypatch):
-        """A full disk (ENOSPC from mkstemp) must not kill the sweep:
+        """A full disk (SQLITE_FULL on commit) must not kill the sweep:
         the put degrades to memory-only, warns once, and is counted."""
-        import tempfile as tempfile_mod
-
-        import repro.engine.cache as cache_mod
+        import sqlite3
 
         cache = ResultCache(tmp_path)
 
         def full_disk(*args, **kwargs):
-            raise OSError(28, "No space left on device")
+            raise sqlite3.OperationalError("database or disk is full")
 
-        monkeypatch.setattr(cache_mod.tempfile, "mkstemp", full_disk)
-        assert cache_mod.tempfile is tempfile_mod  # same module patched
+        monkeypatch.setattr(cache._disk, "put", full_disk)
         with pytest.warns(RuntimeWarning, match="memory-only"):
             cache.put("deadbeef", [1, 2, 3])
         cache.put("cafef00d", [4])  # second failure: counted, no re-warn
@@ -120,7 +136,8 @@ class TestResultCache:
         assert cache.stats.stores == 2
         hit, value = cache.get("deadbeef")
         assert hit and value == [1, 2, 3]  # memory layer still serves it
-        assert not any(tmp_path.rglob("*.pkl"))  # nothing landed on disk
+        fresh = ResultCache(tmp_path)
+        assert not fresh.get("deadbeef")[0]  # nothing landed on disk
 
     def test_unpicklable_value_degrades_to_memory_only(self, tmp_path):
         """A result that cannot be pickled (regression: ``put`` used to
@@ -134,7 +151,8 @@ class TestResultCache:
         assert cache.stats.stores == 1
         hit, served = cache.get("deadbeef")
         assert hit and served is value  # memory layer still serves it
-        assert not any(tmp_path.rglob("*.pkl"))  # no torn file left behind
+        fresh = ResultCache(tmp_path)
+        assert not fresh.get("deadbeef")[0]  # no torn row left behind
 
     def test_memory_hit_refreshes_recency(self):
         """True LRU (regression: eviction used to be insertion-order, so
@@ -153,17 +171,18 @@ class TestResultCache:
 
     def test_failed_write_resumes_when_disk_recovers(self, tmp_path,
                                                      monkeypatch):
-        import repro.engine.cache as cache_mod
+        import sqlite3
 
         cache = ResultCache(tmp_path)
-        real_mkstemp = cache_mod.tempfile.mkstemp
+        real_put = cache._disk.put
         monkeypatch.setattr(
-            cache_mod.tempfile, "mkstemp",
-            lambda *a, **k: (_ for _ in ()).throw(OSError(28, "full")),
+            cache._disk, "put",
+            lambda *a, **k: (_ for _ in ()).throw(
+                sqlite3.OperationalError("database or disk is full")),
         )
         with pytest.warns(RuntimeWarning):
             cache.put("deadbeef", [1])
-        monkeypatch.setattr(cache_mod.tempfile, "mkstemp", real_mkstemp)
+        monkeypatch.setattr(cache._disk, "put", real_put)
         cache.put("cafef00d", [2])  # disk recovered
         assert cache.stats.disk_put_failures == 1
         fresh = ResultCache(tmp_path)

@@ -12,13 +12,12 @@ and shutdown leaves no live worker processes behind.
 import os
 import signal
 
-import pytest
-
 from repro.core.configs import single_core_configs
 from repro.engine import pool
 from repro.engine import sweep as sweep_module
 from repro.engine.sweep import ExperimentEngine, SimSpec
 from repro.workloads.spec import spec_profiles
+from tests.waiting import wait_for_process_death
 
 #: The unpatched worker entry point, captured at import time so the
 #: crash-once wrapper below can delegate to the real implementation.
@@ -84,6 +83,15 @@ class TestSharedExecutor:
         assert narrow_gen == wide_gen  # grow-only: no shrink respawn
         assert pool.pool_stats()["reuses"] == before["reuses"] + 1
 
+    def test_warm_up_materialises_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERSISTENT_POOL", raising=False)
+        pool.shutdown_pool()
+        pids = pool.warm_up(2)
+        assert 1 <= len(pids) <= 2  # dedup'd: both tasks may land on one
+        assert set(pids) <= set(pool.worker_pids())
+        for pid in pids:
+            os.kill(pid, 0)  # alive right now, by construction
+
     def test_env_change_respawns(self, monkeypatch):
         monkeypatch.delenv("REPRO_PERSISTENT_POOL", raising=False)
         _, gen = pool.get_executor(1)
@@ -103,9 +111,10 @@ class TestSharedExecutor:
         pool.shutdown_pool()
         assert pool.worker_pids() == []
         assert not pool.pool_stats()["running"]
-        for pid in pids:
-            with pytest.raises(ProcessLookupError):
-                os.kill(pid, 0)
+        # Event-based, not instant: shutdown(wait=True) joins the
+        # workers, but "joined" and "reaped by the OS" are distinct
+        # moments — poll for death instead of racing the kernel.
+        wait_for_process_death(pids)
         pool.shutdown_pool()  # idempotent
 
 

@@ -1,0 +1,48 @@
+"""Event-based waiting for concurrency tests.
+
+Timing-sensitive assertions must never race the thing they observe: a
+bare ``sleep(0.2); assert cond`` passes on a fast machine and flakes on
+a loaded CI runner.  :func:`wait_until` polls a predicate with a short
+interval and a generous deadline — it returns as soon as the condition
+holds (fast machines stay fast) and only a genuinely stuck condition
+burns the full timeout (loaded machines stay correct).
+"""
+
+import time
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01, message=None):
+    """Poll ``predicate`` until truthy; raise ``AssertionError`` on timeout.
+
+    Returns the predicate's final (truthy) value so callers can assert
+    on what was observed without re-racing.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                message or f"condition not reached within {timeout}s: "
+                           f"{getattr(predicate, '__name__', predicate)!r}")
+        time.sleep(interval)
+
+
+def wait_for_process_death(pids, timeout=10.0):
+    """Wait until every pid in ``pids`` is gone (reaped or never existed)."""
+    import os
+
+    def all_dead():
+        for pid in pids:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            except PermissionError:
+                return False  # alive, owned by someone else
+            return False
+        return True
+
+    wait_until(all_dead, timeout=timeout,
+               message=f"worker pids {pids} still alive after {timeout}s")
